@@ -1,0 +1,51 @@
+// Command gsgcn-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gsgcn-bench -exp fig2 -scale 0.05 -epochs 8
+//	gsgcn-bench -exp all
+//
+// Each experiment prints the rows/series of the corresponding table
+// or figure (see EXPERIMENTS.md for the mapping and the expected
+// shapes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gsgcn"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: "+strings.Join(gsgcn.ExperimentNames(), "|"))
+		scale    = flag.Float64("scale", 0.05, "dataset scale relative to the paper's Table I sizes")
+		epochs   = flag.Int("epochs", 8, "training epochs for Fig. 2")
+		hidden   = flag.Int("hidden", 64, "hidden dimension for training experiments")
+		datasets = flag.String("datasets", "", "comma-separated preset subset (default: all four)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		quick    = flag.Bool("quick", false, "tiny smoke-test configuration")
+	)
+	flag.Parse()
+
+	o := gsgcn.DefaultOptions()
+	if *quick {
+		o = gsgcn.QuickOptions()
+	}
+	o.Scale = *scale
+	o.Epochs = *epochs
+	o.Hidden = *hidden
+	o.Seed = *seed
+	if *datasets != "" {
+		o.Datasets = strings.Split(*datasets, ",")
+	}
+
+	fmt.Println(gsgcn.About())
+	if err := gsgcn.RunExperiment(*exp, o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gsgcn-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Checkpoint: train, save, restore and resume a graph-sampling GCN —
+// the persistence workflow a downstream user needs for long training
+// runs on Table-I-scale graphs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gsgcn"
+)
+
+func main() {
+	ds, err := gsgcn.LoadPreset("ppi", 0.05, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := gsgcn.Config{
+		Layers: 2, Hidden: 96, LR: 0.03,
+		DropRate: 0.1, WeightDecay: 1e-5, Seed: 7,
+	}
+
+	// Phase 1: train half the budget and checkpoint.
+	model := gsgcn.NewModel(ds, cfg)
+	tr := gsgcn.NewTrainer(ds, model)
+	for e := 0; e < 10; e++ {
+		tr.Epoch()
+	}
+	mid := tr.Evaluate(ds.ValIdx)
+	dir, err := os.MkdirTemp("", "gsgcn-ckpt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.ckpt")
+	if err := model.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint after 10 epochs: val-F1 %.4f -> %s\n", mid, path)
+
+	// Phase 2: a fresh process restores the weights and continues.
+	restored := gsgcn.NewModel(ds, cfg)
+	if err := restored.LoadFile(path); err != nil {
+		log.Fatal(err)
+	}
+	tr2 := gsgcn.NewTrainer(ds, restored)
+	if f1 := tr2.Evaluate(ds.ValIdx); f1 != mid {
+		log.Fatalf("restored model evaluates to %.4f, expected %.4f", f1, mid)
+	}
+	fmt.Println("restored model reproduces the checkpointed accuracy exactly")
+
+	for e := 0; e < 10; e++ {
+		tr2.Epoch()
+	}
+	final := tr2.Evaluate(ds.ValIdx)
+	fmt.Printf("resumed training: val-F1 %.4f -> %.4f (test %.4f)\n",
+		mid, final, tr2.Evaluate(ds.TestIdx))
+	if final <= mid {
+		fmt.Println("note: resumed run did not improve further on this tiny preset")
+	}
+}

@@ -1,0 +1,41 @@
+// Reddit-deep: the paper's Section VI-D "Deeper Learning" scenario —
+// train 1-, 2- and 3-layer GCNs on the (scaled) Reddit preset. Layer
+// sampling becomes exponentially more expensive with depth; graph
+// sampling stays linear, which is why the paper reports a 1306x
+// speedup at 3 layers. This example shows our per-epoch time growing
+// only linearly with depth while accuracy holds or improves.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gsgcn"
+)
+
+func main() {
+	ds, err := gsgcn.LoadPreset("reddit", 0.01, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d vertices, %d edges (single-label, %d classes)\n",
+		ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), ds.NumClasses)
+
+	const epochs = 6
+	fmt.Printf("%-8s %14s %10s\n", "layers", "sec/epoch", "val-F1")
+	for _, layers := range []int{1, 2, 3} {
+		model := gsgcn.NewModel(ds, gsgcn.Config{
+			Layers: layers, Hidden: 96, Seed: 21,
+		})
+		tr := gsgcn.NewTrainer(ds, model)
+		start := time.Now()
+		for e := 0; e < epochs; e++ {
+			tr.Epoch()
+		}
+		perEpoch := time.Since(start).Seconds() / epochs
+		f1 := tr.Evaluate(ds.ValIdx)
+		fmt.Printf("%-8d %13.2fs %10.4f\n", layers, perEpoch, f1)
+	}
+	fmt.Println("\nper-epoch cost grows ~linearly with depth: no neighbor explosion.")
+}

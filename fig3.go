@@ -1,0 +1,253 @@
+package gsgcn
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gsgcn/internal/mat"
+	"gsgcn/internal/partition"
+	"gsgcn/internal/perf"
+	"gsgcn/internal/rng"
+	"gsgcn/internal/sampler"
+)
+
+// Fig3Point is one simulated-core-count measurement.
+type Fig3Point struct {
+	Cores         int
+	IterSpeedup   float64 // Fig. 3A: whole-iteration speedup
+	FeatSpeedup   float64 // Fig. 3B: feature-propagation speedup
+	WeightSpeedup float64 // Fig. 3C: weight-application speedup
+	// Breakdown is the share of iteration time spent in
+	// [sampling, feature propagation, weight application] (Fig. 3D).
+	Breakdown [3]float64
+}
+
+// Fig3Curve is one (dataset, hidden-dimension) scaling series.
+type Fig3Curve struct {
+	Dataset string
+	Hidden  int
+	Points  []Fig3Point
+}
+
+// Fig3Result reproduces Figure 3: training-step scaling and its
+// execution-time breakdown, for each hidden dimension.
+type Fig3Result struct {
+	Curves []Fig3Curve
+	Cores  []int
+}
+
+// fig3Budget caps the subgraph size for the scaling runs; Fig. 3
+// measures per-iteration kernel scaling, which is size-stationary, so
+// a moderate subgraph keeps the sweep tractable while preserving the
+// paper's matrix shapes (hidden 512/1024, real attribute widths).
+const fig3Budget = 2000
+
+// RunFig3 measures one training iteration's three phases — sampling,
+// feature propagation, weight application — decomposed into
+// max(Cores) shards, then reports the simulated speedup at every
+// requested core count (see perf.GroupWall for the model).
+func RunFig3(o ExpOptions) (*Fig3Result, error) {
+	o = o.normalized()
+	cache := newDatasetCache(o)
+	res := &Fig3Result{Cores: o.Cores}
+	maxP := maxInt(o.Cores)
+	for _, name := range o.Datasets {
+		ds, err := cache.get(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, hidden := range o.HiddenDims {
+			curve := fig3Curve(ds, hidden, o, maxP)
+			res.Curves = append(res.Curves, curve)
+		}
+	}
+	return res, nil
+}
+
+func fig3Curve(ds *Dataset, hidden int, o ExpOptions, maxP int) Fig3Curve {
+	m, budget := trainParams(ds, o)
+	if budget > fig3Budget && !o.Quick {
+		budget = fig3Budget
+	}
+	if o.Quick && budget > 400 {
+		budget = 400
+	}
+	if m > budget/4 {
+		m = budget / 4
+	}
+	fr := &sampler.Frontier{G: ds.G, M: m, N: budget, Eta: 2}
+	r := rng.NewStream(o.Seed, 0xF163)
+	sub := sampler.SampleSubgraph(ds.G, fr, r)
+	n := sub.N
+	f0 := ds.FeatureDim()
+
+	// --- Sampling: one instance per simulated core. -----------------
+	sampleTimes := perf.SimShardTimes(maxP, func(i int) {
+		rr := rng.NewStream(o.Seed, 1000+i)
+		_ = sampler.SampleSubgraph(ds.G, fr, rr)
+	})
+
+	// --- Feature propagation: Q feature chunks per layer, forward
+	// (NormDst) and backward (NormSrc). Chunk count fixed at the
+	// Theorem 2 value for maxP cores; GroupWall folds chunks onto
+	// fewer cores. ------------------------------------------------
+	layers := 2
+	dims := layerDims(f0, hidden, layers)
+	cm := partition.CommModel{N: n, AvgDeg: sub.AvgDegree(), F: f0, Cores: maxP, CacheBytes: 256 << 10}
+	q := cm.OptimalQ()
+	if q < maxP {
+		q = maxP
+	}
+	featTimes := make([]time.Duration, q)
+	for _, in := range dims {
+		src := randomDense(r, n, in)
+		dst := mat.New(n, in)
+		for _, norm := range []partition.Norm{partition.NormDst, partition.NormSrc} {
+			ts := perf.SimShardTimes(q, func(i int) {
+				lo := i * in / q
+				hi := (i + 1) * in / q
+				if lo < hi {
+					partition.PropagateRange(dst, src, sub.CSR, norm, lo, hi)
+				}
+			})
+			for i, t := range ts {
+				featTimes[i] += t
+			}
+		}
+	}
+
+	// --- Weight application: every GEMM of forward + backward,
+	// row-sharded into maxP pieces. ---------------------------------
+	weightTimes := make([]time.Duration, maxP)
+	classes := ds.NumClasses
+	for _, in := range dims {
+		// Forward: two GEMMs (self, neigh) of shape (n,in)x(in,h).
+		addGEMM(weightTimes, r, maxP, n, in, hidden)
+		addGEMM(weightTimes, r, maxP, n, in, hidden)
+		// Backward: two dW GEMMs (in,n)x(n,h) and two dH GEMMs
+		// (n,h)x(h,in) modeled at identical FLOP counts.
+		addGEMM(weightTimes, r, maxP, in, n, hidden)
+		addGEMM(weightTimes, r, maxP, in, n, hidden)
+		addGEMM(weightTimes, r, maxP, n, hidden, in)
+		addGEMM(weightTimes, r, maxP, n, hidden, in)
+	}
+	headIn := 2 * hidden
+	addGEMM(weightTimes, r, maxP, n, headIn, classes) // logits
+	addGEMM(weightTimes, r, maxP, headIn, n, classes) // dW
+	addGEMM(weightTimes, r, maxP, n, classes, headIn) // dH
+
+	// --- Fold into per-core-count results. --------------------------
+	curve := Fig3Curve{Dataset: ds.Name, Hidden: hidden}
+	featSerial := perf.GroupWall(featTimes, 1, o.Sim).Wall
+	weightSerial := perf.GroupWall(weightTimes, 1, o.Sim).Wall
+	sampleSerial := samplePerIter(sampleTimes, 1, o.Sim)
+	iterSerial := featSerial + weightSerial + sampleSerial
+	for _, p := range o.Cores {
+		feat := perf.GroupWall(featTimes, p, o.Sim).Wall
+		weight := perf.GroupWall(weightTimes, p, o.Sim).Wall
+		sample := samplePerIter(sampleTimes, p, o.Sim)
+		iter := feat + weight + sample
+		pt := Fig3Point{
+			Cores:         p,
+			IterSpeedup:   ratio(iterSerial, iter),
+			FeatSpeedup:   ratio(featSerial, feat),
+			WeightSpeedup: ratio(weightSerial, weight),
+		}
+		total := float64(iter)
+		if total > 0 {
+			pt.Breakdown = [3]float64{
+				float64(sample) / total,
+				float64(feat) / total,
+				float64(weight) / total,
+			}
+		}
+		curve.Points = append(curve.Points, pt)
+	}
+	return curve
+}
+
+// samplePerIter returns the amortized per-iteration sampling wall
+// time when p sampler instances refill the pool concurrently: the
+// refill produces p subgraphs in max-instance time, one consumed per
+// iteration.
+func samplePerIter(times []time.Duration, p int, cfg perf.SimConfig) time.Duration {
+	if p > len(times) {
+		p = len(times)
+	}
+	if p < 1 {
+		p = 1
+	}
+	res := perf.GroupWall(times[:p], p, cfg)
+	return res.Wall / time.Duration(p)
+}
+
+// layerDims returns the input width of each GCN layer.
+func layerDims(f0, hidden, layers int) []int {
+	dims := make([]int, layers)
+	in := f0
+	for l := 0; l < layers; l++ {
+		dims[l] = in
+		in = 2 * hidden
+	}
+	return dims
+}
+
+// addGEMM measures a (rows x k) x (k x cols) GEMM decomposed into
+// maxP row shards and accumulates per-shard times.
+func addGEMM(times []time.Duration, r *rng.RNG, maxP, rows, k, cols int) {
+	a := randomDense(r, rows, k)
+	b := randomDense(r, k, cols)
+	dst := mat.New(rows, cols)
+	ts := perf.SimShardTimes(maxP, func(i int) {
+		lo := i * rows / maxP
+		hi := (i + 1) * rows / maxP
+		if lo < hi {
+			mat.MulRange(dst, a, b, lo, hi)
+		}
+	})
+	for i, t := range ts {
+		times[i] += t
+	}
+}
+
+func randomDense(r *rng.RNG, rows, cols int) *mat.Dense {
+	m := mat.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Float64() + 0.1 // strictly positive: no zero-skip shortcuts
+	}
+	return m
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func maxInt(xs []int) int {
+	m := 1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// String renders the four panels per hidden dimension.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 3: training scaling (simulated cores; A=iteration, B=feat-prop, C=weight-app speedup; D=breakdown)")
+	for _, c := range r.Curves {
+		fmt.Fprintf(&b, "\n[%s hidden=%d]\n", c.Dataset, c.Hidden)
+		fmt.Fprintf(&b, "  %6s %10s %10s %10s   %s\n", "cores", "A:iter", "B:feat", "C:weight", "D:breakdown sample/feat/weight")
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "  %6d %9.2fx %9.2fx %9.2fx   %.2f / %.2f / %.2f\n",
+				p.Cores, p.IterSpeedup, p.FeatSpeedup, p.WeightSpeedup,
+				p.Breakdown[0], p.Breakdown[1], p.Breakdown[2])
+		}
+	}
+	return b.String()
+}

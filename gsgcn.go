@@ -1,0 +1,138 @@
+// Package gsgcn is the public API of the graph-sampling GCN library,
+// a reproduction of "Accurate, Efficient and Scalable Graph
+// Embedding" (Zeng, Zhou, Srivastava, Kannan, Prasanna — IPDPS 2019).
+//
+// The library trains graph convolutional networks by sampling small
+// induced subgraphs and building a complete GCN on each one, avoiding
+// the neighbor explosion of layer-sampling methods. It bundles:
+//
+//   - the Dashboard-based parallel frontier sampler (paper §IV),
+//   - cache-aware feature-partitioned propagation (paper §V),
+//   - the subgraph-pool training scheduler (Algorithm 5),
+//   - layer-sampling baselines (GraphSAGE-style, full-batch GCN,
+//     FastGCN-style) for comparison,
+//   - synthetic dataset presets matching the paper's Table I, and
+//   - experiment drivers regenerating every table and figure of the
+//     paper's evaluation (see RunExperiment).
+//
+// Quickstart:
+//
+//	ds, _ := gsgcn.LoadPreset("ppi", 0.05, 0)
+//	model := gsgcn.NewModel(ds, gsgcn.Config{Layers: 2, Hidden: 128})
+//	tr := gsgcn.NewTrainer(ds, model)
+//	for epoch := 0; epoch < 10; epoch++ {
+//	    loss := tr.Epoch()
+//	    f1 := tr.Evaluate(ds.ValIdx)
+//	    fmt.Printf("epoch %d: loss %.4f val-F1 %.4f\n", epoch, loss, f1)
+//	}
+package gsgcn
+
+import (
+	"fmt"
+
+	"gsgcn/internal/core"
+	"gsgcn/internal/datasets"
+	"gsgcn/internal/graph"
+	"gsgcn/internal/sampler"
+)
+
+// Re-exported core types. The aliases give downstream users a single
+// import while keeping implementation packages internal.
+type (
+	// Dataset is an attributed, labeled graph with train/val/test splits.
+	Dataset = datasets.Dataset
+	// DatasetConfig parameterizes synthetic dataset generation.
+	DatasetConfig = datasets.Config
+	// Config parameterizes model architecture and training.
+	Config = core.Config
+	// Model is an L-layer graph-sampling GCN.
+	Model = core.Model
+	// Trainer drives minibatch training via the subgraph pool.
+	Trainer = core.Trainer
+	// Graph is an undirected CSR graph.
+	Graph = graph.CSR
+	// Subgraph is a vertex-induced subgraph with original-id mapping.
+	Subgraph = graph.Subgraph
+	// VertexSampler draws vertex sets for minibatch subgraphs.
+	VertexSampler = sampler.VertexSampler
+	// FrontierSampler is the paper's Dashboard-based frontier sampler.
+	FrontierSampler = sampler.Frontier
+)
+
+// LoadPreset generates a synthetic dataset matching one of the
+// paper's Table I presets ("ppi", "reddit", "yelp", "amazon"), with
+// vertex and edge budgets multiplied by scale (1 = full size). A
+// non-zero seed overrides the preset's default.
+func LoadPreset(name string, scale float64, seed uint64) (*Dataset, error) {
+	cfg, err := datasets.Preset(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	return datasets.Generate(cfg), nil
+}
+
+// GenerateDataset builds a synthetic dataset from an explicit config.
+func GenerateDataset(cfg DatasetConfig) *Dataset { return datasets.Generate(cfg) }
+
+// WriteDataset serializes a dataset to path in the text .gsg format.
+func WriteDataset(ds *Dataset, path string) error { return datasets.WriteFile(ds, path) }
+
+// ReadDataset parses a dataset previously written by WriteDataset.
+func ReadDataset(path string) (*Dataset, error) { return datasets.ReadFile(path) }
+
+// PresetNames lists the available dataset presets in Table I order.
+func PresetNames() []string { return datasets.PresetNames() }
+
+// NewModel constructs a graph-sampling GCN shaped for the dataset.
+func NewModel(ds *Dataset, cfg Config) *Model { return core.NewModel(ds, cfg) }
+
+// NewTrainer wires a trainer using the Dashboard frontier sampler.
+func NewTrainer(ds *Dataset, m *Model) *Trainer { return core.NewTrainer(ds, m) }
+
+// NewTrainerWithSampler wires a trainer around a custom sampler — the
+// hook for studying alternative graph-sampling algorithms (the
+// paper's stated future work).
+func NewTrainerWithSampler(ds *Dataset, m *Model, s VertexSampler) *Trainer {
+	return core.NewTrainerWithSampler(ds, m, s)
+}
+
+// NewFrontierSampler returns the paper's Dashboard frontier sampler
+// over g with frontier size m and vertex budget n.
+func NewFrontierSampler(g *Graph, m, n int) *FrontierSampler {
+	return &sampler.Frontier{G: g, M: m, N: n, Eta: 2}
+}
+
+// Sample draws one induced subgraph from g using s with the given
+// seed.
+func Sample(g *Graph, s VertexSampler, seed uint64) *Subgraph {
+	return sampler.SampleSubgraph(g, s, rngFor(seed))
+}
+
+// Samplers returns the full family of vertex samplers configured for
+// graph g with the given budget, keyed by name.
+func Samplers(g *Graph, budget int) map[string]VertexSampler {
+	m := budget / 8
+	if m < 1 {
+		m = 1
+	}
+	return map[string]VertexSampler{
+		"frontier":     &sampler.Frontier{G: g, M: m, N: budget, Eta: 2},
+		"random-node":  &sampler.RandomNode{G: g, Budget: budget},
+		"random-edge":  &sampler.RandomEdge{G: g, Budget: budget},
+		"random-walk":  &sampler.RandomWalk{G: g, Walkers: budget / 10, Depth: 9},
+		"forest-fire":  &sampler.ForestFire{G: g, Budget: budget},
+		"node2vec":     &sampler.Node2VecWalk{G: g, Walkers: budget / 10, Depth: 9, P: 1, Q: 0.5},
+		"edge-induced": &sampler.EdgeInduced{G: g, Edges: budget / 2},
+	}
+}
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// About returns a one-line description for CLI banners.
+func About() string {
+	return fmt.Sprintf("gsgcn %s — graph-sampling GCN (IPDPS'19 reproduction)", Version)
+}

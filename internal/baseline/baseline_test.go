@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"testing"
+
+	"gsgcn/internal/core"
+	"gsgcn/internal/datasets"
+)
+
+func tinyDataset(tb testing.TB, multi bool) *datasets.Dataset {
+	tb.Helper()
+	cfg := datasets.Config{
+		Name: "tiny", Vertices: 600, TargetEdges: 6000,
+		FeatureDim: 16, NumClasses: 5, MultiLabel: multi,
+		Homophily: 0.85, NoiseStd: 0.4, Seed: 3,
+	}
+	return datasets.Generate(cfg)
+}
+
+func sageCfg() SAGEConfig {
+	return SAGEConfig{Layers: 2, Hidden: 16, DLS: 5, Batch: 64, LR: 0.01, Seed: 7, Workers: 1}
+}
+
+func TestSAGENeighborExplosion(t *testing.T) {
+	ds := tinyDataset(t, false)
+	s := NewSAGE(ds, sageCfg())
+	s.Step()
+	// L=2, B=64, d=5: layer2=64, layer1=64*6, layer0=64*36.
+	want := 64 + 64*6 + 64*36
+	if s.LastBatchNodes != want {
+		t.Fatalf("batch nodes = %d, want %d (neighbor explosion)", s.LastBatchNodes, want)
+	}
+}
+
+func TestSAGEExplosionGrowsWithDepth(t *testing.T) {
+	ds := tinyDataset(t, false)
+	cfg := sageCfg()
+	nodes := func(layers int) int {
+		c := cfg
+		c.Layers = layers
+		s := NewSAGE(ds, c)
+		s.Step()
+		return s.LastBatchNodes
+	}
+	n1, n2, n3 := nodes(1), nodes(2), nodes(3)
+	if !(n3 > 4*n2 && n2 > 4*n1) {
+		t.Errorf("explosion missing: L1=%d L2=%d L3=%d", n1, n2, n3)
+	}
+}
+
+func TestSAGELearns(t *testing.T) {
+	ds := tinyDataset(t, false)
+	s := NewSAGE(ds, sageCfg())
+	first := s.Step()
+	var last float64
+	for i := 0; i < 40; i++ {
+		last = s.Step()
+	}
+	if last >= first {
+		t.Errorf("SAGE loss did not decrease: %.4f -> %.4f", first, last)
+	}
+	f1 := s.Evaluate(ds.ValIdx)
+	if f1 < 0.4 {
+		t.Errorf("SAGE val F1 = %.3f after 41 steps; failed to learn", f1)
+	}
+}
+
+func TestSAGEMultiLabel(t *testing.T) {
+	ds := tinyDataset(t, true)
+	s := NewSAGE(ds, sageCfg())
+	for i := 0; i < 30; i++ {
+		s.Step()
+	}
+	if f1 := s.Evaluate(ds.ValIdx); f1 < 0.3 {
+		t.Errorf("SAGE multi-label F1 = %.3f", f1)
+	}
+	if s.Steps() != 30 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+}
+
+func TestSAGEInferShape(t *testing.T) {
+	ds := tinyDataset(t, false)
+	s := NewSAGE(ds, sageCfg())
+	logits := s.Infer()
+	if logits.Rows != ds.G.NumVertices() || logits.Cols != ds.NumClasses {
+		t.Fatalf("logits shape %dx%d", logits.Rows, logits.Cols)
+	}
+}
+
+func TestFullBatchLearns(t *testing.T) {
+	ds := tinyDataset(t, false)
+	fb := NewFullBatch(ds, core.Config{Layers: 2, Hidden: 16, LR: 0.02, Workers: 1, Seed: 9})
+	first := fb.Step()
+	var last float64
+	for i := 0; i < 25; i++ {
+		last = fb.Step()
+	}
+	if last >= first {
+		t.Errorf("full-batch loss did not decrease: %.4f -> %.4f", first, last)
+	}
+	if f1 := fb.Evaluate(ds.ValIdx); f1 < 0.5 {
+		t.Errorf("full-batch val F1 = %.3f", f1)
+	}
+	if fb.Steps() != 26 {
+		t.Errorf("Steps = %d", fb.Steps())
+	}
+}
+
+func TestFastGCNRunsAndImproves(t *testing.T) {
+	ds := tinyDataset(t, false)
+	f := NewFastGCN(ds, sageCfg(), 200)
+	first := f.Step()
+	var last float64
+	for i := 0; i < 40; i++ {
+		last = f.Step()
+	}
+	if last >= first {
+		t.Errorf("FastGCN loss did not decrease: %.4f -> %.4f", first, last)
+	}
+	if f1 := f.Evaluate(ds.ValIdx); f1 < 0.3 {
+		t.Errorf("FastGCN val F1 = %.3f", f1)
+	}
+	if f.Steps() != 41 {
+		t.Errorf("Steps = %d", f.Steps())
+	}
+}
+
+func TestFastGCNLayerSizeClamped(t *testing.T) {
+	ds := tinyDataset(t, false)
+	f := NewFastGCN(ds, sageCfg(), 10_000_000)
+	if f.LayerSize != ds.G.NumVertices() {
+		t.Errorf("LayerSize = %d, want clamped %d", f.LayerSize, ds.G.NumVertices())
+	}
+	f2 := NewFastGCN(ds, sageCfg(), 0)
+	if f2.LayerSize <= 0 {
+		t.Error("default LayerSize not set")
+	}
+}
+
+func TestFastGCNPreprocessingDistribution(t *testing.T) {
+	ds := tinyDataset(t, false)
+	f := NewFastGCN(ds, sageCfg(), 100)
+	sum := 0.0
+	for _, p := range f.probs {
+		if p < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestSAGEDeterministic(t *testing.T) {
+	ds := tinyDataset(t, false)
+	run := func() []float64 {
+		s := NewSAGE(ds, sageCfg())
+		var out []float64
+		for i := 0; i < 3; i++ {
+			out = append(out, s.Step())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SAGE not deterministic at step %d", i)
+		}
+	}
+}
+
+func BenchmarkSAGEStep(b *testing.B) {
+	ds := tinyDataset(b, false)
+	s := NewSAGE(ds, sageCfg())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

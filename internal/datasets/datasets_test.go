@@ -1,0 +1,283 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"gsgcn/internal/rng"
+)
+
+func smallCfg() Config {
+	return Config{
+		Name: "test", Vertices: 500, TargetEdges: 3000,
+		FeatureDim: 16, NumClasses: 5, MultiLabel: false, Seed: 1,
+	}
+}
+
+func TestGenerateValid(t *testing.T) {
+	d := Generate(smallCfg())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.G.NumVertices() != 500 {
+		t.Errorf("vertices = %d", d.G.NumVertices())
+	}
+	// Dedup and self-loop removal shrink the edge count, but it
+	// should be in the right ballpark.
+	if e := d.G.NumEdges(); e < 2000 || e > 3000 {
+		t.Errorf("edges = %d, want ~3000", e)
+	}
+}
+
+func TestGenerateMultiLabelValid(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MultiLabel = true
+	d := Generate(cfg)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Multi-label data should have more than one label on a healthy
+	// fraction of vertices.
+	multi := 0
+	for v := 0; v < d.Labels.Rows; v++ {
+		sum := 0.0
+		for _, x := range d.Labels.Row(v) {
+			sum += x
+		}
+		if sum > 1 {
+			multi++
+		}
+	}
+	if multi < d.Labels.Rows/10 {
+		t.Errorf("only %d/%d vertices have multiple labels", multi, d.Labels.Rows)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallCfg())
+	b := Generate(smallCfg())
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	if a.Features.MaxAbsDiff(b.Features) != 0 {
+		t.Fatal("same seed produced different features")
+	}
+	for i := range a.TrainIdx {
+		if a.TrainIdx[i] != b.TrainIdx[i] {
+			t.Fatal("same seed produced different splits")
+		}
+	}
+	cfg := smallCfg()
+	cfg.Seed = 2
+	c := Generate(cfg)
+	if a.Features.MaxAbsDiff(c.Features) == 0 {
+		t.Fatal("different seeds produced identical features")
+	}
+}
+
+func TestHomophilyEffect(t *testing.T) {
+	// Higher homophily must increase the fraction of intra-community
+	// edges.
+	frac := func(h float64) float64 {
+		cfg := smallCfg()
+		cfg.Homophily = h
+		d := Generate(cfg)
+		intra, total := 0, 0
+		for v := int32(0); v < int32(d.G.NumVertices()); v++ {
+			for _, w := range d.G.Neighbors(v) {
+				total++
+				if d.Community[v] == d.Community[w] {
+					intra++
+				}
+			}
+		}
+		return float64(intra) / float64(total)
+	}
+	low, high := frac(0.1), frac(0.9)
+	if high < low+0.2 {
+		t.Errorf("homophily 0.9 gives intra-frac %.3f vs %.3f at 0.1; want clearly higher", high, low)
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	// A heavier tail (smaller exponent) should raise the max degree.
+	maxDeg := func(alpha float64) int {
+		cfg := smallCfg()
+		cfg.Vertices = 2000
+		cfg.TargetEdges = 20000
+		cfg.PowerLawExp = alpha
+		return Generate(cfg).G.MaxDegree()
+	}
+	heavy, light := maxDeg(2.05), maxDeg(3.5)
+	if heavy <= light {
+		t.Errorf("max degree heavy-tail %d <= light-tail %d", heavy, light)
+	}
+}
+
+func TestFeaturesClassSeparated(t *testing.T) {
+	// Mean intra-class feature distance must be smaller than
+	// inter-class distance, otherwise no model can learn.
+	d := Generate(smallCfg())
+	k := d.NumClasses
+	f := d.FeatureDim()
+	centroids := make([][]float64, k)
+	counts := make([]int, k)
+	for c := range centroids {
+		centroids[c] = make([]float64, f)
+	}
+	for v := 0; v < d.G.NumVertices(); v++ {
+		c := int(d.Community[v])
+		counts[c]++
+		row := d.Features.Row(v)
+		for j, x := range row {
+			centroids[c][j] += x
+		}
+	}
+	for c := range centroids {
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	dist := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			s += (a[i] - b[i]) * (a[i] - b[i])
+		}
+		return math.Sqrt(s)
+	}
+	var inter float64
+	var pairs int
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			inter += dist(centroids[a], centroids[b])
+			pairs++
+		}
+	}
+	inter /= float64(pairs)
+	if inter < 0.1 {
+		t.Errorf("class centroids nearly coincide (mean inter-class distance %.4f)", inter)
+	}
+}
+
+func TestSplitDisjointAndStratified(t *testing.T) {
+	d := Generate(smallCfg())
+	if len(d.TrainIdx) < 300 {
+		t.Errorf("train split too small: %d", len(d.TrainIdx))
+	}
+	if len(d.ValIdx) == 0 || len(d.TestIdx) == 0 {
+		t.Error("empty val or test split")
+	}
+}
+
+func TestPresetTable1(t *testing.T) {
+	want := []struct {
+		name  string
+		v     int
+		e     int64
+		f, c  int
+		multi bool
+	}{
+		{"ppi", 14755, 225270, 50, 121, true},
+		{"reddit", 232965, 11606919, 602, 41, false},
+		{"yelp", 716847, 6977410, 300, 100, true},
+		{"amazon", 1598960, 132169734, 200, 107, true},
+	}
+	for _, w := range want {
+		cfg, err := Preset(w.name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Vertices != w.v || cfg.TargetEdges != w.e ||
+			cfg.FeatureDim != w.f || cfg.NumClasses != w.c || cfg.MultiLabel != w.multi {
+			t.Errorf("preset %s = %+v, want Table I row %+v", w.name, cfg, w)
+		}
+	}
+}
+
+func TestPresetScale(t *testing.T) {
+	full, _ := Preset("reddit", 1)
+	half, err := Preset("reddit", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Vertices != full.Vertices/2 {
+		t.Errorf("scaled vertices = %d, want %d", half.Vertices, full.Vertices/2)
+	}
+	if half.FeatureDim != full.FeatureDim || half.NumClasses != full.NumClasses {
+		t.Error("scaling must not change feature/class dimensions")
+	}
+	// Tiny scales keep a floor so the dataset stays trainable.
+	tiny, err := Preset("ppi", 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Vertices < tiny.NumClasses {
+		t.Errorf("tiny preset has %d vertices < %d classes", tiny.Vertices, tiny.NumClasses)
+	}
+}
+
+func TestPresetErrors(t *testing.T) {
+	if _, err := Preset("imagenet", 1); err == nil {
+		t.Error("unknown preset should error")
+	}
+	if _, err := Preset("ppi", 0); err == nil {
+		t.Error("zero scale should error")
+	}
+	if _, err := Preset("ppi", -1); err == nil {
+		t.Error("negative scale should error")
+	}
+}
+
+func TestPresetNamesGenerateTiny(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := Preset(name, 0.002)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Generate(cfg)
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate with zero vertices did not panic")
+		}
+	}()
+	Generate(Config{Vertices: 0, NumClasses: 2, FeatureDim: 2})
+}
+
+func TestChungLuDegreeWeighting(t *testing.T) {
+	// High-weight vertices should end up with higher degree: check
+	// that degree distribution is skewed (max >> mean).
+	cfg := smallCfg()
+	cfg.Vertices = 3000
+	cfg.TargetEdges = 30000
+	cfg.PowerLawExp = 2.1
+	d := Generate(cfg)
+	if float64(d.G.MaxDegree()) < 3*d.G.AvgDegree() {
+		t.Errorf("degree distribution not skewed: max %d vs avg %.1f", d.G.MaxDegree(), d.G.AvgDegree())
+	}
+}
+
+func TestLabelNoiseBounded(t *testing.T) {
+	r := rng.New(9)
+	_ = r
+	cfg := smallCfg()
+	cfg.NoiseStd = 10 // extreme noise still yields a valid dataset
+	d := Generate(cfg)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGeneratePPITiny(b *testing.B) {
+	cfg, _ := Preset("ppi", 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}

@@ -1,0 +1,79 @@
+package datasets
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestLoaderRoundTripProperty: for arbitrary generator configurations,
+// Write followed by Read reproduces the dataset exactly (graph
+// adjacency, features, labels, splits).
+func TestLoaderRoundTripProperty(t *testing.T) {
+	f := func(seed uint16, multi bool) bool {
+		cfg := Config{
+			Name:        "prop",
+			Vertices:    int(seed)%150 + 20,
+			TargetEdges: int64(int(seed)%400 + 50),
+			FeatureDim:  int(seed)%7 + 2,
+			NumClasses:  int(seed)%5 + 2,
+			MultiLabel:  multi,
+			Seed:        uint64(seed) + 1,
+		}
+		orig := Generate(cfg)
+		var buf bytes.Buffer
+		if err := Write(orig, &buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.G.NumVertices() != orig.G.NumVertices() || got.G.NumEdges() != orig.G.NumEdges() {
+			return false
+		}
+		if got.Features.MaxAbsDiff(orig.Features) != 0 {
+			return false
+		}
+		if got.Labels.MaxAbsDiff(orig.Labels) != 0 {
+			return false
+		}
+		if len(got.TrainIdx) != len(orig.TrainIdx) ||
+			len(got.ValIdx) != len(orig.ValIdx) ||
+			len(got.TestIdx) != len(orig.TestIdx) {
+			return false
+		}
+		for i := range orig.TrainIdx {
+			if got.TrainIdx[i] != orig.TrainIdx[i] {
+				return false
+			}
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLoaderAdjacencyProperty: round-tripped graphs answer HasEdge
+// identically to the original on random vertex pairs.
+func TestLoaderAdjacencyProperty(t *testing.T) {
+	orig := Generate(smallCfg())
+	var buf bytes.Buffer
+	if err := Write(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(orig.G.NumVertices())
+	f := func(a, b uint16) bool {
+		u := int32(a) % n
+		v := int32(b) % n
+		return orig.G.HasEdge(u, v) == got.G.HasEdge(u, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

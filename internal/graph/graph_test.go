@@ -1,0 +1,333 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gsgcn/internal/rng"
+)
+
+// path5 is the path graph 0-1-2-3-4.
+func path5(t *testing.T) *CSR {
+	t.Helper()
+	g, err := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := path5(t)
+	if g.NumVertices() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("got V=%d E=%d, want 5,4", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Errorf("degrees wrong: deg(0)=%d deg(2)=%d", g.Degree(0), g.Degree(2))
+	}
+	nb := g.Neighbors(2)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 3 {
+		t.Errorf("Neighbors(2) = %v", nb)
+	}
+}
+
+func TestFromEdgesDedupAndSelfLoops(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 1}, {1, 0}, {0, 1}, {1, 1}, {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1 (dups and self-loops removed)", g.NumEdges())
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("deg(2) = %d, want 0", g.Degree(2))
+	}
+}
+
+func TestFromEdgesOutOfRange(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 5}}); err == nil {
+		t.Fatal("expected error for out-of-range endpoint")
+	}
+	if _, err := FromEdges(2, []Edge{{-1, 0}}); err == nil {
+		t.Fatal("expected error for negative endpoint")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := path5(t)
+	cases := []struct {
+		u, v int32
+		want bool
+	}{{0, 1, true}, {1, 0, true}, {0, 2, false}, {3, 4, true}, {4, 0, false}}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	g := randomGraph(t, 200, 800, 42)
+	for v := int32(0); v < int32(g.N); v++ {
+		for _, w := range g.Neighbors(v) {
+			if !g.HasEdge(w, v) {
+				t.Fatalf("edge (%d,%d) present but (%d,%d) missing", v, w, w, v)
+			}
+		}
+	}
+}
+
+func TestAvgAndMaxDegree(t *testing.T) {
+	g := path5(t)
+	if got := g.AvgDegree(); got != 8.0/5.0 {
+		t.Errorf("AvgDegree = %v, want 1.6", got)
+	}
+	if got := g.MaxDegree(); got != 2 {
+		t.Errorf("MaxDegree = %d, want 2", got)
+	}
+}
+
+func TestInduceBasic(t *testing.T) {
+	g := path5(t)
+	sub := g.Induce([]int32{1, 2, 4})
+	if sub.N != 3 {
+		t.Fatalf("induced N = %d, want 3", sub.N)
+	}
+	// Local ids: 0->1, 1->2, 2->4. Edge (1,2) survives; 4 isolated.
+	if !sub.HasEdge(0, 1) {
+		t.Error("edge between local 0 and 1 missing")
+	}
+	if sub.Degree(2) != 0 {
+		t.Error("vertex 4 should be isolated in the induced subgraph")
+	}
+	want := []int32{1, 2, 4}
+	for i, v := range want {
+		if sub.Orig[i] != v {
+			t.Fatalf("Orig = %v, want %v", sub.Orig, want)
+		}
+	}
+}
+
+func TestInduceDuplicatesIgnored(t *testing.T) {
+	g := path5(t)
+	sub := g.Induce([]int32{2, 2, 3, 3, 3})
+	if sub.N != 2 {
+		t.Fatalf("induced N = %d, want 2", sub.N)
+	}
+	if !sub.HasEdge(0, 1) {
+		t.Error("edge (2,3) missing from induced subgraph")
+	}
+}
+
+func TestInduceWholeGraph(t *testing.T) {
+	g := randomGraph(t, 50, 120, 7)
+	all := make([]int32, g.N)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	sub := g.Induce(all)
+	if sub.NumEdges() != g.NumEdges() {
+		t.Errorf("whole-graph induce lost edges: %d vs %d", sub.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestInduceEdgeSubsetProperty(t *testing.T) {
+	// Property: every induced edge maps to an original edge, and every
+	// original edge with both endpoints sampled appears induced.
+	g := randomGraph(t, 120, 500, 99)
+	r := rng.New(123)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		k := rr.Intn(60) + 2
+		vs := make([]int32, k)
+		for i := range vs {
+			vs[i] = int32(r.Intn(g.N))
+		}
+		sub := g.Induce(vs)
+		for li := int32(0); li < int32(sub.N); li++ {
+			for _, lj := range sub.Neighbors(li) {
+				if !g.HasEdge(sub.Orig[li], sub.Orig[lj]) {
+					return false
+				}
+			}
+		}
+		inSet := map[int32]int32{}
+		for i, v := range sub.Orig {
+			inSet[v] = int32(i)
+		}
+		for _, v := range sub.Orig {
+			for _, w := range g.Neighbors(v) {
+				if lw, ok := inSet[w]; ok {
+					if !sub.HasEdge(inSet[v], lw) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two triangles plus an isolated vertex.
+	g, err := FromEdges(7, []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, k := g.ConnectedComponents()
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if labels[0] != labels[1] || labels[0] != labels[2] {
+		t.Error("triangle 0-1-2 split across components")
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Error("triangle 3-4-5 mislabeled")
+	}
+	if labels[6] == labels[0] || labels[6] == labels[3] {
+		t.Error("isolated vertex joined a triangle")
+	}
+}
+
+func TestLargestComponentFraction(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.LargestComponentFraction(); got != 0.75 {
+		t.Errorf("LCC fraction = %v, want 0.75", got)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := path5(t)
+	h := g.DegreeHistogram()
+	// Path: two degree-1 endpoints, three degree-2 internal vertices.
+	if h[1] != 2 || h[2] != 3 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := path5(t)
+	s := g.ComputeStats(true)
+	if s.Vertices != 5 || s.Edges != 4 || s.Components != 1 || s.LCCFrac != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	s2 := g.ComputeStats(false)
+	if s2.Components != 0 {
+		t.Errorf("partial stats should skip components, got %+v", s2)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.AvgDegree() != 0 || g.NumEdges() != 0 {
+		t.Error("empty graph stats wrong")
+	}
+	if g.LargestComponentFraction() != 0 {
+		t.Error("empty graph LCC should be 0")
+	}
+}
+
+// randomGraph builds an Erdos-Renyi-ish multigraph for tests.
+func randomGraph(t *testing.T, n, m int, seed uint64) *CSR {
+	t.Helper()
+	r := rng.New(seed)
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{int32(r.Intn(n)), int32(r.Intn(n))}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkInduce(b *testing.B) {
+	r := rng.New(5)
+	edges := make([]Edge, 50000)
+	for i := range edges {
+		edges[i] = Edge{int32(r.Intn(10000)), int32(r.Intn(10000))}
+	}
+	g, err := FromEdges(10000, edges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs := make([]int32, 1000)
+	for i := range vs {
+		vs[i] = int32(r.Intn(10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Induce(vs)
+	}
+}
+
+func TestDegreeKSIdentical(t *testing.T) {
+	g := randomGraph(t, 100, 400, 5)
+	if ks := DegreeKS(g, g); ks != 0 {
+		t.Errorf("KS(g,g) = %v, want 0", ks)
+	}
+}
+
+func TestDegreeKSDiscriminates(t *testing.T) {
+	// A star and a cycle of the same size have very different degree
+	// distributions.
+	star := starLike(t, 50)
+	var ring []Edge
+	for i := 0; i < 51; i++ {
+		ring = append(ring, Edge{U: int32(i), V: int32((i + 1) % 51)})
+	}
+	cyc, err := FromEdges(51, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks := DegreeKS(star, cyc); ks < 0.5 {
+		t.Errorf("KS(star, cycle) = %v, want large", ks)
+	}
+	if ks := DegreeKS(star, cyc); ks > 1 {
+		t.Errorf("KS > 1: %v", ks)
+	}
+}
+
+func TestDegreeKSEmpty(t *testing.T) {
+	g := randomGraph(t, 10, 20, 7)
+	empty, _ := FromEdges(0, nil)
+	if ks := DegreeKS(g, empty); ks != 1 {
+		t.Errorf("KS vs empty = %v, want 1", ks)
+	}
+}
+
+func TestQualityReport(t *testing.T) {
+	g := randomGraph(t, 200, 1000, 9)
+	all := make([]int32, g.N)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	q := Quality(g, g.Induce(all))
+	if q.DegreeKS != 0 || q.Vertices != g.N || q.Edges != g.NumEdges() {
+		t.Errorf("whole-graph quality wrong: %+v", q)
+	}
+}
+
+// starLike builds a star graph with n leaves.
+func starLike(t *testing.T, n int) *CSR {
+	t.Helper()
+	edges := make([]Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = Edge{U: 0, V: int32(i + 1)}
+	}
+	g, err := FromEdges(n+1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

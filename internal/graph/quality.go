@@ -1,0 +1,60 @@
+package graph
+
+import "math"
+
+// DegreeKS returns the Kolmogorov-Smirnov distance between the degree
+// distributions of g and h — one of the "connectivity measures" a
+// good graph sampler should preserve (Section III-C; Ribeiro &
+// Towsley evaluate frontier sampling with exactly this family of
+// statistics). 0 means identical distributions, 1 maximal divergence.
+func DegreeKS(g, h *CSR) float64 {
+	if g.N == 0 || h.N == 0 {
+		return 1
+	}
+	maxDeg := g.MaxDegree()
+	if hd := h.MaxDegree(); hd > maxDeg {
+		maxDeg = hd
+	}
+	cdf := func(x *CSR) []float64 {
+		counts := make([]float64, maxDeg+2)
+		for v := int32(0); v < int32(x.N); v++ {
+			counts[x.Degree(v)]++
+		}
+		run := 0.0
+		for i := range counts {
+			run += counts[i]
+			counts[i] = run / float64(x.N)
+		}
+		return counts
+	}
+	cg, ch := cdf(g), cdf(h)
+	ks := 0.0
+	for i := range cg {
+		if d := math.Abs(cg[i] - ch[i]); d > ks {
+			ks = d
+		}
+	}
+	return ks
+}
+
+// SubgraphQuality summarizes how faithfully a sampled subgraph
+// preserves the parent graph's structure.
+type SubgraphQuality struct {
+	Vertices    int
+	Edges       int64
+	AvgDegree   float64
+	LCCFraction float64
+	DegreeKS    float64
+}
+
+// Quality computes the preservation statistics of sub against its
+// parent graph.
+func Quality(parent *CSR, sub *Subgraph) SubgraphQuality {
+	return SubgraphQuality{
+		Vertices:    sub.N,
+		Edges:       sub.NumEdges(),
+		AvgDegree:   sub.AvgDegree(),
+		LCCFraction: sub.LargestComponentFraction(),
+		DegreeKS:    DegreeKS(parent, sub.CSR),
+	}
+}

@@ -1,0 +1,408 @@
+// Package mat implements the dense linear-algebra substrate for GCN
+// training: row-major float64 matrices with parallel, cache-blocked
+// matrix multiplication and the elementwise kernels used by forward
+// and backward propagation.
+//
+// It plays the role of Intel MKL in the paper's C++ implementation
+// (the weight-application step, Section V-A, is a dense GEMM). The
+// multiplication kernels use the i-k-j loop order so the innermost
+// loop streams contiguous rows of both the source and destination,
+// which the Go compiler turns into reasonably tight code, and they
+// parallelize across row blocks via perf.Parallel.
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"gsgcn/internal/perf"
+)
+
+// Dense is a row-major matrix. Data[i*Cols+j] is element (i, j).
+// The zero value is an empty matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed r x c matrix.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromData wraps the given backing slice (not copied) as an r x c
+// matrix. It panics if the slice has the wrong length.
+func FromData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: FromData %dx%d needs %d elements, got %d", r, c, r*c, len(data)))
+	}
+	return &Dense{Rows: r, Cols: c, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("mat: CopyFrom dimension mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// Equal reports whether m and n have identical shape and elements
+// within tolerance tol.
+func (m *Dense) Equal(n *Dense, tol float64) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest elementwise absolute difference.
+func (m *Dense) MaxAbsDiff(n *Dense) float64 {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return math.Inf(1)
+	}
+	max := 0.0
+	for i, v := range m.Data {
+		if d := math.Abs(v - n.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Mul computes dst = a * b using workers goroutines. dst must be
+// pre-shaped (a.Rows x b.Cols) and must not alias a or b. This is the
+// weight-application GEMM of the paper's Section V-A.
+func Mul(dst, a, b *Dense, workers int) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: Mul shape mismatch (%dx%d)*(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	perf.Parallel(a.Rows, workers, func(_, lo, hi int) {
+		mulRange(dst, a, b, lo, hi)
+	})
+}
+
+// MulRange computes rows [lo, hi) of dst = a*b serially. It is the
+// unit of work one (simulated) core performs in a row-sharded GEMM;
+// the scaling harness measures it shard by shard.
+func MulRange(dst, a, b *Dense, lo, hi int) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: MulRange shape mismatch")
+	}
+	mulRange(dst, a, b, lo, hi)
+}
+
+// MulBTRange computes rows [lo, hi) of dst = a * bᵀ serially.
+func MulBTRange(dst, a, b *Dense, lo, hi int) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("mat: MulBTRange shape mismatch")
+	}
+	k := a.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = dot(arow, b.Data[j*k:(j+1)*k])
+		}
+	}
+}
+
+// mulRange computes rows [lo, hi) of dst = a*b serially.
+func mulRange(dst, a, b *Dense, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			axpy(drow, brow, av)
+		}
+	}
+}
+
+// MulShards computes dst = a * b decomposed into p row shards and
+// executes the shards under the simulated multicore executor,
+// returning its timing. It performs exactly the same arithmetic as
+// Mul; it exists so the weight-application scaling of Fig. 3C can be
+// measured on hosts with few physical cores.
+func MulShards(dst, a, b *Dense, p int, cfg perf.SimConfig) perf.SimResult {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("mat: MulShards shape mismatch")
+	}
+	return perf.SimRange(a.Rows, p, cfg, func(lo, hi int) {
+		mulRange(dst, a, b, lo, hi)
+	})
+}
+
+// MulAT computes dst = aᵀ * b (dst is a.Cols x b.Cols). Needed by the
+// backward pass: dW = Hᵀ · dY.
+func MulAT(dst, a, b *Dense, workers int) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("mat: MulAT shape mismatch")
+	}
+	// Parallelize over output rows (columns of a). Each worker scans
+	// a column-strided view of a; to keep the inner loop streaming we
+	// instead accumulate per-worker partial blocks over row chunks.
+	n := b.Cols
+	k := a.Cols
+	if workers <= 1 || a.Rows < 64 {
+		dst.Zero()
+		for r := 0; r < a.Rows; r++ {
+			arow := a.Data[r*k : (r+1)*k]
+			brow := b.Data[r*n : (r+1)*n]
+			for c, av := range arow {
+				if av == 0 {
+					continue
+				}
+				axpy(dst.Data[c*n:(c+1)*n], brow, av)
+			}
+		}
+		return
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	partials := make([]*Dense, workers)
+	perf.Parallel(a.Rows, workers, func(w, lo, hi int) {
+		p := New(k, n)
+		for r := lo; r < hi; r++ {
+			arow := a.Data[r*k : (r+1)*k]
+			brow := b.Data[r*n : (r+1)*n]
+			for c, av := range arow {
+				if av == 0 {
+					continue
+				}
+				axpy(p.Data[c*n:(c+1)*n], brow, av)
+			}
+		}
+		partials[w] = p
+	})
+	dst.Zero()
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		for i, v := range p.Data {
+			dst.Data[i] += v
+		}
+	}
+}
+
+// MulBT computes dst = a * bᵀ (dst is a.Rows x b.Rows). Needed by the
+// backward pass: dH = dY · Wᵀ.
+func MulBT(dst, a, b *Dense, workers int) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("mat: MulBT shape mismatch")
+	}
+	k := a.Cols
+	perf.Parallel(a.Rows, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				drow[j] = dot(arow, brow)
+			}
+		}
+	})
+}
+
+// axpy computes dst += alpha * src elementwise. The 4-way unroll gives
+// the compiler independent chains to schedule.
+func axpy(dst, src []float64, alpha float64) {
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// dot returns the inner product of x and y.
+func dot(x, y []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy exposes dst += alpha*src for other packages.
+func Axpy(dst, src []float64, alpha float64) { axpy(dst, src, alpha) }
+
+// Dot exposes the inner product for other packages.
+func Dot(x, y []float64) float64 { return dot(x, y) }
+
+// Add computes dst = a + b elementwise.
+func Add(dst, a, b *Dense) {
+	checkSameShape3(dst, a, b, "Add")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub(dst, a, b *Dense) {
+	checkSameShape3(dst, a, b, "Sub")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// AddScaled computes dst += alpha * src.
+func AddScaled(dst, src *Dense, alpha float64) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("mat: AddScaled shape mismatch")
+	}
+	axpy(dst.Data, src.Data, alpha)
+}
+
+// Scale multiplies every element by alpha in place.
+func (m *Dense) Scale(alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// Apply sets dst[i] = f(a[i]) elementwise. dst may alias a.
+func Apply(dst, a *Dense, f func(float64) float64) {
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("mat: Apply shape mismatch")
+	}
+	for i, v := range a.Data {
+		dst.Data[i] = f(v)
+	}
+}
+
+// ConcatCols writes [a | b] into dst (dst is a.Rows x (a.Cols+b.Cols)).
+// This implements the neighbor-self concatenation of Algorithm 1 line 9.
+func ConcatCols(dst, a, b *Dense) {
+	if a.Rows != b.Rows || dst.Rows != a.Rows || dst.Cols != a.Cols+b.Cols {
+		panic("mat: ConcatCols shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		drow := dst.Row(i)
+		copy(drow[:a.Cols], a.Row(i))
+		copy(drow[a.Cols:], b.Row(i))
+	}
+}
+
+// SplitCols is the inverse of ConcatCols: it copies the first a.Cols
+// columns of src into a and the rest into b (used to route gradients
+// back through the concatenation).
+func SplitCols(a, b, src *Dense) {
+	if a.Rows != src.Rows || b.Rows != src.Rows || src.Cols != a.Cols+b.Cols {
+		panic("mat: SplitCols shape mismatch")
+	}
+	for i := 0; i < src.Rows; i++ {
+		srow := src.Row(i)
+		copy(a.Row(i), srow[:a.Cols])
+		copy(b.Row(i), srow[a.Cols:])
+	}
+}
+
+// GatherRows writes a[idx[i]] into dst row i. It implements
+// H(0)[V_sub] of Algorithm 1 line 5.
+func GatherRows(dst, a *Dense, idx []int) {
+	if dst.Rows != len(idx) || dst.Cols != a.Cols {
+		panic("mat: GatherRows shape mismatch")
+	}
+	for i, r := range idx {
+		copy(dst.Row(i), a.Data[r*a.Cols:(r+1)*a.Cols])
+	}
+}
+
+// Transpose returns aᵀ as a new matrix.
+func Transpose(a *Dense) *Dense {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			out.Data[j*a.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns sqrt(sum of squares).
+func (m *Dense) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+func checkSameShape3(a, b, c *Dense, op string) {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.Rows != c.Rows || a.Cols != c.Cols {
+		panic("mat: " + op + " shape mismatch")
+	}
+}

@@ -1,0 +1,327 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gsgcn/internal/perf"
+	"gsgcn/internal/rng"
+)
+
+// naiveMul is the reference triple loop used to validate the
+// optimized kernels.
+func naiveMul(a, b *Dense) *Dense {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func randomMat(r *rng.RNG, rows, cols int) *Dense {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {17, 31, 13}, {64, 32, 48}, {100, 1, 100},
+	}
+	for _, s := range shapes {
+		a := randomMat(r, s.m, s.k)
+		b := randomMat(r, s.k, s.n)
+		want := naiveMul(a, b)
+		for _, workers := range []int{1, 2, 4} {
+			got := New(s.m, s.n)
+			Mul(got, a, b, workers)
+			if !got.Equal(want, 1e-10) {
+				t.Errorf("Mul %dx%dx%d workers=%d: max diff %g", s.m, s.k, s.n, workers, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestMulATMatchesNaive(t *testing.T) {
+	r := rng.New(2)
+	for _, s := range []struct{ m, k, n int }{{3, 4, 5}, {65, 7, 9}, {128, 16, 32}} {
+		a := randomMat(r, s.m, s.k)
+		b := randomMat(r, s.m, s.n)
+		want := naiveMul(Transpose(a), b)
+		for _, workers := range []int{1, 3} {
+			got := New(s.k, s.n)
+			MulAT(got, a, b, workers)
+			if !got.Equal(want, 1e-9) {
+				t.Errorf("MulAT %v workers=%d: max diff %g", s, workers, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestMulBTMatchesNaive(t *testing.T) {
+	r := rng.New(3)
+	for _, s := range []struct{ m, k, n int }{{3, 4, 5}, {33, 8, 21}} {
+		a := randomMat(r, s.m, s.k)
+		b := randomMat(r, s.n, s.k)
+		want := naiveMul(a, Transpose(b))
+		for _, workers := range []int{1, 4} {
+			got := New(s.m, s.n)
+			MulBT(got, a, b, workers)
+			if !got.Equal(want, 1e-10) {
+				t.Errorf("MulBT %v workers=%d: max diff %g", s, workers, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestMulShardsMatchesMul(t *testing.T) {
+	r := rng.New(4)
+	a := randomMat(r, 40, 16)
+	b := randomMat(r, 16, 24)
+	want := New(40, 24)
+	Mul(want, a, b, 1)
+	for _, p := range []int{1, 2, 5, 40, 64} {
+		got := New(40, 24)
+		res := MulShards(got, a, b, p, perf.SimConfig{})
+		if !got.Equal(want, 0) {
+			t.Errorf("MulShards p=%d differs from Mul", p)
+		}
+		if res.Wall <= 0 {
+			t.Errorf("MulShards p=%d reported non-positive wall time", p)
+		}
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul with mismatched shapes did not panic")
+		}
+	}()
+	Mul(New(2, 2), New(2, 3), New(2, 2), 1)
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := rng.New(5)
+	a := randomMat(r, 7, 11)
+	if !Transpose(Transpose(a)).Equal(a, 0) {
+		t.Error("transpose of transpose differs from original")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromData(2, 2, []float64{1, 2, 3, 4})
+	b := FromData(2, 2, []float64{10, 20, 30, 40})
+	sum := New(2, 2)
+	Add(sum, a, b)
+	if sum.At(1, 1) != 44 {
+		t.Errorf("Add: got %v", sum.Data)
+	}
+	diff := New(2, 2)
+	Sub(diff, b, a)
+	if diff.At(0, 0) != 9 {
+		t.Errorf("Sub: got %v", diff.Data)
+	}
+	diff.Scale(2)
+	if diff.At(0, 0) != 18 {
+		t.Errorf("Scale: got %v", diff.Data)
+	}
+	AddScaled(sum, a, -1)
+	if sum.At(0, 0) != 10 {
+		t.Errorf("AddScaled: got %v", sum.Data)
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := FromData(1, 3, []float64{-1, 0, 2})
+	out := New(1, 3)
+	Apply(out, a, func(v float64) float64 { return math.Max(v, 0) })
+	want := []float64{0, 0, 2}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Errorf("Apply relu: got %v", out.Data)
+			break
+		}
+	}
+	// In-place application.
+	Apply(a, a, func(v float64) float64 { return v * v })
+	if a.Data[0] != 1 || a.Data[2] != 4 {
+		t.Errorf("Apply in place: got %v", a.Data)
+	}
+}
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	r := rng.New(6)
+	a := randomMat(r, 5, 3)
+	b := randomMat(r, 5, 4)
+	cat := New(5, 7)
+	ConcatCols(cat, a, b)
+	a2, b2 := New(5, 3), New(5, 4)
+	SplitCols(a2, b2, cat)
+	if !a2.Equal(a, 0) || !b2.Equal(b, 0) {
+		t.Error("ConcatCols/SplitCols round trip failed")
+	}
+	if cat.At(2, 0) != a.At(2, 0) || cat.At(2, 3) != b.At(2, 0) {
+		t.Error("ConcatCols misplaced columns")
+	}
+}
+
+func TestGatherRows(t *testing.T) {
+	a := FromData(4, 2, []float64{0, 1, 10, 11, 20, 21, 30, 31})
+	dst := New(3, 2)
+	GatherRows(dst, a, []int{3, 0, 2})
+	want := []float64{30, 31, 0, 1, 20, 21}
+	for i, v := range want {
+		if dst.Data[i] != v {
+			t.Fatalf("GatherRows: got %v want %v", dst.Data, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromData(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestDotAxpyQuick(t *testing.T) {
+	// Property: dot(x, y) computed by the unrolled kernel matches a
+	// plain accumulation, and axpy is linear.
+	f := func(seed uint32, ln uint8) bool {
+		n := int(ln)%67 + 1
+		r := rng.New(uint64(seed))
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		plain := 0.0
+		for i := range x {
+			plain += x[i] * y[i]
+		}
+		if math.Abs(Dot(x, y)-plain) > 1e-9*(1+math.Abs(plain)) {
+			return false
+		}
+		dst := make([]float64, n)
+		copy(dst, y)
+		Axpy(dst, x, 2.5)
+		for i := range dst {
+			if math.Abs(dst[i]-(y[i]+2.5*x[i])) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulLinearityQuick(t *testing.T) {
+	// Property: (a1+a2)*b == a1*b + a2*b.
+	r := rng.New(8)
+	f := func(seed uint16) bool {
+		m, k, n := int(seed)%6+1, int(seed/7)%6+1, int(seed/49)%6+1
+		a1 := randomMat(r, m, k)
+		a2 := randomMat(r, m, k)
+		b := randomMat(r, k, n)
+		sum := New(m, k)
+		Add(sum, a1, a2)
+		left := New(m, n)
+		Mul(left, sum, b, 1)
+		r1, r2 := New(m, n), New(m, n)
+		Mul(r1, a1, b, 1)
+		Mul(r2, a2, b, 1)
+		right := New(m, n)
+		Add(right, r1, r2)
+		return left.Equal(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrobeniusAndSum(t *testing.T) {
+	a := FromData(2, 2, []float64{3, 4, 0, 0})
+	if got := a.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("FrobeniusNorm = %v, want 5", got)
+	}
+	if got := a.Sum(); got != 7 {
+		t.Errorf("Sum = %v, want 7", got)
+	}
+}
+
+func BenchmarkMul256(b *testing.B) {
+	r := rng.New(1)
+	a := randomMat(r, 256, 256)
+	c := randomMat(r, 256, 256)
+	dst := New(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(dst, a, c, perf.NumWorkers())
+	}
+}
+
+func BenchmarkMulAT256(b *testing.B) {
+	r := rng.New(1)
+	a := randomMat(r, 256, 256)
+	c := randomMat(r, 256, 256)
+	dst := New(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAT(dst, a, c, perf.NumWorkers())
+	}
+}
+
+func TestMulRangeMatchesMul(t *testing.T) {
+	r := rng.New(21)
+	a := randomMat(r, 20, 12)
+	b := randomMat(r, 12, 9)
+	want := New(20, 9)
+	Mul(want, a, b, 1)
+	got := New(20, 9)
+	// Compute in three uneven row chunks.
+	MulRange(got, a, b, 0, 7)
+	MulRange(got, a, b, 7, 8)
+	MulRange(got, a, b, 8, 20)
+	if !got.Equal(want, 0) {
+		t.Error("piecewise MulRange differs from Mul")
+	}
+}
+
+func TestMulBTRangeMatchesMulBT(t *testing.T) {
+	r := rng.New(22)
+	a := randomMat(r, 15, 8)
+	b := randomMat(r, 11, 8)
+	want := New(15, 11)
+	MulBT(want, a, b, 1)
+	got := New(15, 11)
+	MulBTRange(got, a, b, 0, 6)
+	MulBTRange(got, a, b, 6, 15)
+	if !got.Equal(want, 0) {
+		t.Error("piecewise MulBTRange differs from MulBT")
+	}
+}
+
+func TestMulRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulRange shape mismatch did not panic")
+		}
+	}()
+	MulRange(New(2, 2), New(2, 3), New(2, 2), 0, 2)
+}

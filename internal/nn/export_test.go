@@ -1,0 +1,7 @@
+package nn
+
+import "gsgcn/internal/perf"
+
+// newTimer re-exports perf.NewTimer for tests without an extra import
+// at every call site.
+func newTimer() *perf.Timer { return perf.NewTimer() }

@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"math"
+
+	"gsgcn/internal/mat"
+)
+
+// Loss evaluates a training criterion on logits against {0,1} label
+// matrices and produces the gradient w.r.t. the logits. mask, when
+// non-nil, restricts the loss to the given rows (e.g. only labeled
+// training vertices of a sampled subgraph); unmasked rows contribute
+// zero loss and zero gradient.
+type Loss interface {
+	Name() string
+	// Eval returns the mean loss over the selected rows and writes
+	// dLogits (same shape as logits).
+	Eval(logits, labels *mat.Dense, mask []int, dLogits *mat.Dense) float64
+}
+
+// SigmoidBCE is elementwise binary cross-entropy with logits — the
+// multi-label criterion used for PPI/Yelp/Amazon.
+type SigmoidBCE struct{}
+
+// Name implements Loss.
+func (SigmoidBCE) Name() string { return "sigmoid-bce" }
+
+// Eval implements Loss. The loss per element is computed in the
+// numerically stable form max(z,0) - z*y + log(1+exp(-|z|)).
+func (SigmoidBCE) Eval(logits, labels *mat.Dense, mask []int, dLogits *mat.Dense) float64 {
+	checkLossShapes(logits, labels, dLogits)
+	rows := maskOrAll(mask, logits.Rows)
+	if len(rows) == 0 {
+		dLogits.Zero()
+		return 0
+	}
+	dLogits.Zero()
+	total := 0.0
+	inv := 1 / float64(len(rows))
+	c := logits.Cols
+	for _, i := range rows {
+		zrow := logits.Row(i)
+		yrow := labels.Row(i)
+		drow := dLogits.Row(i)
+		for j := 0; j < c; j++ {
+			z, y := zrow[j], yrow[j]
+			total += math.Max(z, 0) - z*y + math.Log1p(math.Exp(-math.Abs(z)))
+			drow[j] = (sigmoid(z) - y) * inv
+		}
+	}
+	return total * inv
+}
+
+// SoftmaxCE is categorical cross-entropy over mutually exclusive
+// classes — the single-label criterion used for Reddit.
+type SoftmaxCE struct{}
+
+// Name implements Loss.
+func (SoftmaxCE) Name() string { return "softmax-ce" }
+
+// Eval implements Loss.
+func (SoftmaxCE) Eval(logits, labels *mat.Dense, mask []int, dLogits *mat.Dense) float64 {
+	checkLossShapes(logits, labels, dLogits)
+	rows := maskOrAll(mask, logits.Rows)
+	if len(rows) == 0 {
+		dLogits.Zero()
+		return 0
+	}
+	dLogits.Zero()
+	total := 0.0
+	inv := 1 / float64(len(rows))
+	c := logits.Cols
+	probs := make([]float64, c)
+	for _, i := range rows {
+		zrow := logits.Row(i)
+		yrow := labels.Row(i)
+		drow := dLogits.Row(i)
+		maxZ := zrow[0]
+		for _, z := range zrow[1:] {
+			if z > maxZ {
+				maxZ = z
+			}
+		}
+		sum := 0.0
+		for j, z := range zrow {
+			probs[j] = math.Exp(z - maxZ)
+			sum += probs[j]
+		}
+		logSum := math.Log(sum) + maxZ
+		for j := 0; j < c; j++ {
+			p := probs[j] / sum
+			drow[j] = (p - yrow[j]) * inv
+			if yrow[j] == 1 {
+				total += logSum - zrow[j]
+			}
+		}
+	}
+	return total * inv
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func checkLossShapes(logits, labels, dLogits *mat.Dense) {
+	if logits.Rows != labels.Rows || logits.Cols != labels.Cols ||
+		logits.Rows != dLogits.Rows || logits.Cols != dLogits.Cols {
+		panic("nn: loss shape mismatch")
+	}
+}
+
+func maskOrAll(mask []int, n int) []int {
+	if mask != nil {
+		return mask
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}

@@ -1,0 +1,90 @@
+package nn
+
+import "gsgcn/internal/mat"
+
+// PredictMulti thresholds sigmoid(logits) at 0.5 — equivalently
+// logits at 0 — producing a {0,1} multi-hot prediction matrix.
+func PredictMulti(logits *mat.Dense) *mat.Dense {
+	out := mat.New(logits.Rows, logits.Cols)
+	for i, z := range logits.Data {
+		if z > 0 {
+			out.Data[i] = 1
+		}
+	}
+	return out
+}
+
+// PredictSingle one-hot-encodes the argmax class of each row.
+func PredictSingle(logits *mat.Dense) *mat.Dense {
+	out := mat.New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		best := 0
+		for j, z := range row {
+			if z > row[best] {
+				best = j
+			}
+		}
+		out.Set(i, best, 1)
+	}
+	return out
+}
+
+// F1Micro computes the micro-averaged F1 score between {0,1}
+// prediction and label matrices over the given rows (all rows when
+// rows is nil). This is the accuracy measure of the paper's Figure 2.
+// For single-label (one-hot) data micro-F1 equals plain accuracy.
+func F1Micro(pred, labels *mat.Dense, rows []int) float64 {
+	rows = maskOrAll(rows, pred.Rows)
+	var tp, fp, fn float64
+	c := pred.Cols
+	for _, i := range rows {
+		prow := pred.Row(i)
+		lrow := labels.Row(i)
+		for j := 0; j < c; j++ {
+			switch {
+			case prow[j] == 1 && lrow[j] == 1:
+				tp++
+			case prow[j] == 1 && lrow[j] == 0:
+				fp++
+			case prow[j] == 0 && lrow[j] == 1:
+				fn++
+			}
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	return 2 * tp / (2*tp + fp + fn)
+}
+
+// F1Macro computes the macro-averaged F1 (unweighted mean of
+// per-class F1 scores), a secondary metric for skewed label sets.
+func F1Macro(pred, labels *mat.Dense, rows []int) float64 {
+	rows = maskOrAll(rows, pred.Rows)
+	c := pred.Cols
+	tp := make([]float64, c)
+	fp := make([]float64, c)
+	fn := make([]float64, c)
+	for _, i := range rows {
+		prow := pred.Row(i)
+		lrow := labels.Row(i)
+		for j := 0; j < c; j++ {
+			switch {
+			case prow[j] == 1 && lrow[j] == 1:
+				tp[j]++
+			case prow[j] == 1 && lrow[j] == 0:
+				fp[j]++
+			case prow[j] == 0 && lrow[j] == 1:
+				fn[j]++
+			}
+		}
+	}
+	sum := 0.0
+	for j := 0; j < c; j++ {
+		if tp[j] > 0 {
+			sum += 2 * tp[j] / (2*tp[j] + fp[j] + fn[j])
+		}
+	}
+	return sum / float64(c)
+}

@@ -1,0 +1,150 @@
+package partition
+
+import "gsgcn/internal/graph"
+
+// The communication model of Section V-B, Equation (3):
+//
+//	gcomm(P, Q) = 2·Q·n·d  +  8·P·n·f·γP   (bytes)
+//
+// The first term streams the CSR neighbor lists (INT16 vertex ids, 2
+// bytes) once per feature partition; the second loads the feature
+// blocks H^(i,j) (DOUBLE values, 8 bytes) once per vertex partition,
+// inflated by γP = |V_src^(i)|/|V|, the replication factor of the
+// vertex partitioning.
+
+// CommModel carries the problem parameters of the partitioning
+// optimization (4).
+type CommModel struct {
+	N          int     // subgraph vertices n
+	AvgDeg     float64 // subgraph average degree d
+	F          int     // feature length f
+	Cores      int     // available processors C
+	CacheBytes int     // per-core fast memory S_cache
+}
+
+// Volume returns gcomm(P, Q) in bytes under replication factor gamma.
+func (m CommModel) Volume(p, q int, gamma float64) float64 {
+	return 2*float64(q)*float64(m.N)*m.AvgDeg + 8*float64(p)*float64(m.N)*float64(m.F)*gamma
+}
+
+// LowerBound returns the partition-independent lower bound 8·n·f
+// derived in the proof of Theorem 2 (every feature byte must cross
+// the slow-to-fast boundary at least once).
+func (m CommModel) LowerBound() float64 {
+	return 8 * float64(m.N) * float64(m.F)
+}
+
+// OptimalQ returns the Theorem 2 feature-partition count
+// Q = max(C, ceil(8·n·f / S_cache)) used with P = 1.
+func (m CommModel) OptimalQ() int {
+	q := m.Cores
+	if m.CacheBytes > 0 {
+		byCache := (8*m.N*m.F + m.CacheBytes - 1) / m.CacheBytes
+		if byCache > q {
+			q = byCache
+		}
+	}
+	if q < 1 {
+		q = 1
+	}
+	if q > m.F {
+		// More partitions than features is meaningless; the cache
+		// constraint is then unsatisfiable and Q=f is the finest cut.
+		q = m.F
+	}
+	return q
+}
+
+// FeasibleTheorem2 reports whether the preconditions of Theorem 2
+// hold: C <= 4f/d and 2·n·d <= S_cache.
+func (m CommModel) FeasibleTheorem2() bool {
+	if m.AvgDeg <= 0 {
+		return true
+	}
+	if float64(m.Cores) > 4*float64(m.F)/m.AvgDeg {
+		return false
+	}
+	return 2*float64(m.N)*m.AvgDeg <= float64(m.CacheBytes)
+}
+
+// ApproxRatio returns gcomm(1, OptimalQ) / LowerBound; Theorem 2
+// guarantees this is at most 2 whenever FeasibleTheorem2 holds.
+func (m CommModel) ApproxRatio() float64 {
+	lb := m.LowerBound()
+	if lb == 0 {
+		return 1
+	}
+	return m.Volume(1, m.OptimalQ(), 1) / lb
+}
+
+// GammaP measures the replication factor γP of partitioning g's
+// vertices into p contiguous ranges: the mean over partitions of
+// |V_src^(i)| / |V|, where V_src^(i) is the set of vertices sending
+// features into partition i (including its own members, because of
+// the self-connection noted in Section V-B).
+func GammaP(g *graph.CSR, p int) float64 {
+	if g.N == 0 || p < 1 {
+		return 0
+	}
+	if p > g.N {
+		p = g.N
+	}
+	mark := make([]int, g.N) // last partition that counted vertex v, minus one
+	for i := range mark {
+		mark[i] = -1
+	}
+	var total float64
+	for i := 0; i < p; i++ {
+		vlo := i * g.N / p
+		vhi := (i + 1) * g.N / p
+		count := 0
+		for v := vlo; v < vhi; v++ {
+			if mark[v] != i {
+				mark[v] = i
+				count++ // self-connection: v in V_src
+			}
+			for _, u := range g.Neighbors(int32(v)) {
+				if mark[u] != i {
+					mark[u] = i
+					count++
+				}
+			}
+		}
+		total += float64(count)
+	}
+	return total / (float64(p) * float64(g.N))
+}
+
+// BestVolume exhaustively minimizes gcomm over P·Q >= Cores with the
+// cache constraint, measuring γP on the given graph. It is used by
+// the Theorem 2 ablation to compare the feature-only solution against
+// the true optimum. Complexity O(maxP · E), so call on subgraphs.
+func (m CommModel) BestVolume(g *graph.CSR, maxP int) (bestP, bestQ int, best float64) {
+	if maxP < 1 {
+		maxP = 1
+	}
+	best = -1
+	for p := 1; p <= maxP; p++ {
+		gamma := GammaP(g, p)
+		// Smallest Q satisfying both constraints.
+		q := (m.Cores + p - 1) / p
+		if m.CacheBytes > 0 {
+			bytesPerPart := 8 * float64(m.N) * gamma * float64(m.F)
+			byCache := int(bytesPerPart/float64(m.CacheBytes)) + 1
+			if byCache > q {
+				q = byCache
+			}
+		}
+		if q < 1 {
+			q = 1
+		}
+		if q > m.F {
+			continue
+		}
+		v := m.Volume(p, q, gamma)
+		if best < 0 || v < best {
+			best, bestP, bestQ = v, p, q
+		}
+	}
+	return bestP, bestQ, best
+}

@@ -1,0 +1,278 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gsgcn/internal/datasets"
+	"gsgcn/internal/graph"
+	"gsgcn/internal/mat"
+	"gsgcn/internal/perf"
+	"gsgcn/internal/rng"
+)
+
+func smallGraph(tb testing.TB) *graph.CSR {
+	tb.Helper()
+	g, err := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 0}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func randomFeatures(r *rng.RNG, n, f int) *mat.Dense {
+	m := mat.New(n, f)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+// refPropagate is the obvious O(E*f) reference.
+func refPropagate(src *mat.Dense, g *graph.CSR, norm Norm) *mat.Dense {
+	dst := mat.New(src.Rows, src.Cols)
+	for v := 0; v < g.N; v++ {
+		nb := g.Neighbors(int32(v))
+		if len(nb) == 0 {
+			continue
+		}
+		for _, u := range nb {
+			w := 1.0
+			if norm == NormDst {
+				w = 1 / float64(len(nb))
+			} else {
+				w = 1 / float64(g.Degree(u))
+			}
+			for j := 0; j < src.Cols; j++ {
+				dst.Data[v*src.Cols+j] += w * src.At(int(u), j)
+			}
+		}
+	}
+	return dst
+}
+
+func TestPropagateMatchesReference(t *testing.T) {
+	cfg := datasets.Config{Name: "t", Vertices: 300, TargetEdges: 2400, FeatureDim: 4, NumClasses: 4, Seed: 3}
+	g := datasets.Generate(cfg).G
+	r := rng.New(1)
+	src := randomFeatures(r, g.N, 24)
+	for _, norm := range []Norm{NormDst, NormSrc} {
+		want := refPropagate(src, g, norm)
+		for _, q := range []int{1, 3, 8, 24, 100} {
+			for _, workers := range []int{1, 4} {
+				dst := mat.New(g.N, 24)
+				Propagate(dst, src, g, norm, q, workers)
+				if d := dst.MaxAbsDiff(want); d > 1e-12 {
+					t.Errorf("norm=%v q=%d workers=%d: max diff %g", norm, q, workers, d)
+				}
+			}
+		}
+	}
+}
+
+func TestPropagateMeanSemantics(t *testing.T) {
+	g := smallGraph(t) // 5-cycle: every vertex has exactly 2 neighbors
+	src := mat.New(5, 2)
+	for v := 0; v < 5; v++ {
+		src.Set(v, 0, float64(v))
+		src.Set(v, 1, 1)
+	}
+	dst := mat.New(5, 2)
+	Propagate(dst, src, g, NormDst, 2, 1)
+	// Vertex 0's neighbors are 1 and 4: mean of col0 = 2.5, col1 = 1.
+	if got := dst.At(0, 0); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("dst[0,0] = %v, want 2.5", got)
+	}
+	if got := dst.At(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("dst[0,1] = %v, want 1", got)
+	}
+}
+
+func TestPropagateIsolatedVertexZero(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := mat.New(3, 2)
+	src.Fill(7)
+	dst := mat.New(3, 2)
+	dst.Fill(99) // stale values must be overwritten
+	Propagate(dst, src, g, NormDst, 1, 1)
+	if dst.At(2, 0) != 0 || dst.At(2, 1) != 0 {
+		t.Errorf("isolated vertex aggregated to %v, want 0", dst.Row(2))
+	}
+	if dst.At(0, 0) != 7 {
+		t.Errorf("vertex 0 should aggregate neighbor value 7, got %v", dst.At(0, 0))
+	}
+}
+
+func TestNormSrcIsTransposeOfNormDst(t *testing.T) {
+	// <y, NormDst(x)> == <NormSrc(y), x> for all x, y — the adjoint
+	// identity the backward pass relies on.
+	cfg := datasets.Config{Name: "t", Vertices: 120, TargetEdges: 900, FeatureDim: 4, NumClasses: 4, Seed: 5}
+	g := datasets.Generate(cfg).G
+	r := rng.New(2)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		_ = rr
+		x := randomFeatures(r, g.N, 3)
+		y := randomFeatures(r, g.N, 3)
+		ax := mat.New(g.N, 3)
+		Propagate(ax, x, g, NormDst, 2, 1)
+		aty := mat.New(g.N, 3)
+		Propagate(aty, y, g, NormSrc, 2, 1)
+		var left, right float64
+		for i := range ax.Data {
+			left += y.Data[i] * ax.Data[i]
+			right += aty.Data[i] * x.Data[i]
+		}
+		return math.Abs(left-right) <= 1e-9*(1+math.Abs(left))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropagate2DMatches(t *testing.T) {
+	cfg := datasets.Config{Name: "t", Vertices: 200, TargetEdges: 1500, FeatureDim: 4, NumClasses: 4, Seed: 7}
+	g := datasets.Generate(cfg).G
+	src := randomFeatures(rng.New(3), g.N, 16)
+	want := refPropagate(src, g, NormDst)
+	for _, pv := range []int{1, 2, 5, 200} {
+		for _, q := range []int{1, 4, 16} {
+			dst := mat.New(g.N, 16)
+			Propagate2D(dst, src, g, NormDst, pv, q, 3)
+			if d := dst.MaxAbsDiff(want); d > 1e-12 {
+				t.Errorf("pv=%d q=%d: max diff %g", pv, q, d)
+			}
+		}
+	}
+}
+
+func TestSimPropagateMatchesAndTimes(t *testing.T) {
+	cfg := datasets.Config{Name: "t", Vertices: 400, TargetEdges: 3000, FeatureDim: 4, NumClasses: 4, Seed: 9}
+	g := datasets.Generate(cfg).G
+	src := randomFeatures(rng.New(4), g.N, 64)
+	want := mat.New(g.N, 64)
+	Propagate(want, src, g, NormDst, 64, 1)
+	dst := mat.New(g.N, 64)
+	res := SimPropagate(dst, src, g, NormDst, 64, 8, perf.SimConfig{})
+	if d := dst.MaxAbsDiff(want); d != 0 {
+		t.Errorf("SimPropagate differs: %g", d)
+	}
+	if res.Shards != 8 {
+		t.Errorf("shards = %d, want 8", res.Shards)
+	}
+	if s := res.Speedup(); s < 3 {
+		t.Errorf("feature-partitioned propagation sim speedup %.2f at p=8, want > 3 (balanced chunks)", s)
+	}
+}
+
+func TestOptimalQ(t *testing.T) {
+	// Case 1 of Theorem 2: cores dominate.
+	m := CommModel{N: 1000, AvgDeg: 10, F: 512, Cores: 40, CacheBytes: 1 << 20}
+	// 8nf = 8*1000*512 = 4,096,000 bytes; /1MiB -> 4 partitions; C=40 wins.
+	if q := m.OptimalQ(); q != 40 {
+		t.Errorf("OptimalQ = %d, want 40", q)
+	}
+	// Case 2: cache dominates.
+	m.CacheBytes = 64 << 10
+	// ceil(4096000 / 65536) = 63 > 40.
+	if q := m.OptimalQ(); q != 63 {
+		t.Errorf("OptimalQ = %d, want 63", q)
+	}
+	// Q never exceeds f.
+	m.F = 16
+	m.Cores = 100
+	if q := m.OptimalQ(); q != 16 {
+		t.Errorf("OptimalQ = %d, want clamped 16", q)
+	}
+}
+
+func TestTheorem2ApproxRatio(t *testing.T) {
+	// Paper's typical values: n <= 8000, f = 512, d = 15, C <= 136,
+	// S_cache = 256KB. The feature-only solution must be within 2x of
+	// the lower bound.
+	m := CommModel{N: 8000, AvgDeg: 15, F: 512, Cores: 40, CacheBytes: 256 << 10}
+	if !m.FeasibleTheorem2() {
+		t.Fatal("paper's parameters should satisfy Theorem 2 preconditions")
+	}
+	if r := m.ApproxRatio(); r > 2 {
+		t.Errorf("approximation ratio %.3f exceeds 2", r)
+	}
+}
+
+func TestTheorem2RatioQuick(t *testing.T) {
+	// Property: for any feasible configuration, ApproxRatio <= 2.
+	f := func(nSeed, fSeed, cSeed uint16) bool {
+		n := int(nSeed)%8000 + 100
+		feat := int(fSeed)%1024 + 64
+		cores := int(cSeed)%64 + 1
+		m := CommModel{N: n, AvgDeg: 15, F: feat, Cores: cores, CacheBytes: 256 << 10}
+		if !m.FeasibleTheorem2() {
+			return true // precondition violated; theorem silent
+		}
+		return m.ApproxRatio() <= 2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaPBounds(t *testing.T) {
+	cfg := datasets.Config{Name: "t", Vertices: 500, TargetEdges: 4000, FeatureDim: 4, NumClasses: 4, Seed: 11}
+	g := datasets.Generate(cfg).G
+	prev := -1.0
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		gamma := GammaP(g, p)
+		if gamma < 1.0/float64(p)-1e-9 || gamma > 1+1e-9 {
+			t.Errorf("gamma(%d) = %.4f outside [1/p, 1]", p, gamma)
+		}
+		_ = prev
+		prev = gamma
+	}
+	if g1 := GammaP(g, 1); math.Abs(g1-1) > 1e-9 {
+		t.Errorf("gamma(1) = %v, want 1", g1)
+	}
+}
+
+func TestBestVolumeNeverBeatsLowerBoundHalf(t *testing.T) {
+	// The exhaustive optimum can be at most 2x better than the
+	// feature-only solution under Theorem 2 conditions.
+	cfg := datasets.Config{Name: "t", Vertices: 2000, TargetEdges: 15000, FeatureDim: 4, NumClasses: 4, Seed: 13}
+	g := datasets.Generate(cfg).G
+	m := CommModel{N: g.N, AvgDeg: g.AvgDegree(), F: 512, Cores: 40, CacheBytes: 256 << 10}
+	_, _, best := m.BestVolume(g, 16)
+	featureOnly := m.Volume(1, m.OptimalQ(), 1)
+	if best <= 0 {
+		t.Fatal("BestVolume found no feasible solution")
+	}
+	if featureOnly > 2*best+1e-6 {
+		t.Errorf("feature-only volume %.0f exceeds 2x optimum %.0f", featureOnly, best)
+	}
+}
+
+func TestPropagateShapePanics(t *testing.T) {
+	g := smallGraph(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	Propagate(mat.New(4, 2), mat.New(5, 2), g, NormDst, 1, 1)
+}
+
+func BenchmarkPropagateQ1(b *testing.B) { benchPropagate(b, 1) }
+func BenchmarkPropagateQ8(b *testing.B) { benchPropagate(b, 8) }
+
+func benchPropagate(b *testing.B, q int) {
+	cfg := datasets.Config{Name: "b", Vertices: 2000, TargetEdges: 20000, FeatureDim: 4, NumClasses: 4, Seed: 1}
+	g := datasets.Generate(cfg).G
+	src := randomFeatures(rng.New(1), g.N, 256)
+	dst := mat.New(g.N, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Propagate(dst, src, g, NormDst, q, perf.NumWorkers())
+	}
+}

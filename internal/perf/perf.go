@@ -1,0 +1,219 @@
+// Package perf provides the parallel-execution substrate used across
+// the repository: real goroutine-based data-parallel loops, wall-clock
+// timers, and a simulated multicore executor.
+//
+// The simulated executor exists because the paper's evaluation (Figs.
+// 3-4, Table II) ran on a dual-socket 40-core Xeon, while the
+// reproduction host may have very few cores. Each parallel region is
+// decomposed into the same shards a real run would use; the shards are
+// executed (and timed) one by one, and the simulated parallel wall time
+// is the critical path -- the maximum shard time -- plus a small modeled
+// synchronization term and an optional cross-socket (NUMA) penalty.
+// This preserves the *shape* of scaling curves: load imbalance, serial
+// bottlenecks and Amdahl effects all show up exactly as they would on
+// real silicon, while absolute times remain honest per-shard
+// measurements.
+package perf
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Parallel runs fn over the index range [0, n) split into at most
+// workers contiguous chunks, using real goroutines. fn receives the
+// worker id and the half-open range [lo, hi) it owns. It blocks until
+// all chunks complete. workers <= 1 or n small degrades to a serial
+// call, avoiding goroutine overhead on tiny inputs.
+func Parallel(n, workers int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			wg.Done()
+			continue
+		}
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// NumWorkers returns the default worker count for real parallel loops:
+// GOMAXPROCS at the time of the call.
+func NumWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// SimConfig parameterizes the simulated multicore executor.
+type SimConfig struct {
+	// BarrierNS is the modeled cost, in nanoseconds, of one barrier
+	// among p simulated cores; the total added per region is
+	// BarrierNS * log2(p+1). The default (used when zero) is 1500ns,
+	// a typical cost for a pthread-style tree barrier.
+	BarrierNS float64
+	// SocketCores is the number of cores per socket. Shards beyond
+	// this count pay the NUMAPenalty multiplier on their measured
+	// time, modeling remote-socket memory reads (the paper observes
+	// this bend between 20 and 40 cores in Fig. 4A). Zero disables
+	// the penalty.
+	SocketCores int
+	// NUMAPenalty multiplies the measured time of shards scheduled on
+	// the remote socket. Ignored when SocketCores is zero. A value
+	// <= 1 disables the penalty.
+	NUMAPenalty float64
+}
+
+// DefaultSim mirrors the paper's platform: dual-socket, 20 cores per
+// socket, with a mild 15% remote-read penalty.
+var DefaultSim = SimConfig{BarrierNS: 1500, SocketCores: 20, NUMAPenalty: 1.15}
+
+// SimResult reports the outcome of one simulated parallel region.
+type SimResult struct {
+	Wall     time.Duration // simulated parallel wall time (critical path + sync)
+	Total    time.Duration // sum of all shard times (serial work)
+	MaxShard time.Duration // slowest shard, before sync/NUMA adjustments
+	Shards   int
+}
+
+// Speedup returns Total / Wall, the simulated parallel speedup of the
+// region relative to executing all shards serially.
+func (r SimResult) Speedup() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Total) / float64(r.Wall)
+}
+
+// SimParallel executes shard(0..p-1) serially, timing each, and returns
+// the simulated parallel timing under cfg. The shard function must
+// perform the work that simulated core i would perform in a real run.
+func SimParallel(p int, cfg SimConfig, shard func(i int)) SimResult {
+	if p < 1 {
+		p = 1
+	}
+	barrier := cfg.BarrierNS
+	if barrier == 0 {
+		barrier = 1500
+	}
+	var total, max float64 // nanoseconds
+	for i := 0; i < p; i++ {
+		start := time.Now()
+		shard(i)
+		t := float64(time.Since(start))
+		total += t
+		if cfg.SocketCores > 0 && cfg.NUMAPenalty > 1 && i >= cfg.SocketCores {
+			t *= cfg.NUMAPenalty
+		}
+		if t > max {
+			max = t
+		}
+	}
+	wall := max + barrier*math.Log2(float64(p)+1)
+	return SimResult{
+		Wall:     time.Duration(wall),
+		Total:    time.Duration(total),
+		MaxShard: time.Duration(max),
+		Shards:   p,
+	}
+}
+
+// SimRange is a convenience wrapper: it splits [0, n) into p contiguous
+// shards and simulates executing them on p cores.
+func SimRange(n, p int, cfg SimConfig, fn func(lo, hi int)) SimResult {
+	if p > n && n > 0 {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	chunk := (n + p - 1) / p
+	return SimParallel(p, cfg, func(i int) {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			fn(lo, hi)
+		}
+	})
+}
+
+// Timer accumulates named wall-clock segments; it backs the
+// execution-time breakdown in Fig. 3D.
+type Timer struct {
+	mu    sync.Mutex
+	spans map[string]time.Duration
+}
+
+// NewTimer returns an empty Timer.
+func NewTimer() *Timer { return &Timer{spans: make(map[string]time.Duration)} }
+
+// Time runs fn and charges its duration to the named segment.
+func (t *Timer) Time(name string, fn func()) {
+	start := time.Now()
+	fn()
+	t.Add(name, time.Since(start))
+}
+
+// Add charges d to the named segment.
+func (t *Timer) Add(name string, d time.Duration) {
+	t.mu.Lock()
+	t.spans[name] += d
+	t.mu.Unlock()
+}
+
+// Get returns the accumulated duration of the named segment.
+func (t *Timer) Get(name string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans[name]
+}
+
+// Segments returns a copy of all accumulated segments.
+func (t *Timer) Segments() map[string]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.spans))
+	for k, v := range t.spans {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the sum over all segments.
+func (t *Timer) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum time.Duration
+	for _, v := range t.spans {
+		sum += v
+	}
+	return sum
+}
+
+// Reset clears all segments.
+func (t *Timer) Reset() {
+	t.mu.Lock()
+	t.spans = make(map[string]time.Duration)
+	t.mu.Unlock()
+}

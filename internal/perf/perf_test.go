@@ -1,0 +1,169 @@
+package perf
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParallelCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7, 100} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			hits := make([]int32, n)
+			Parallel(n, workers, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelWorkerIDsDistinct(t *testing.T) {
+	const n, workers = 100, 4
+	seen := make([]int32, workers)
+	Parallel(n, workers, func(w, lo, hi int) {
+		atomic.AddInt32(&seen[w], 1)
+	})
+	for w, c := range seen {
+		if c != 1 {
+			t.Errorf("worker %d invoked %d times, want 1", w, c)
+		}
+	}
+}
+
+func TestParallelZeroAndNegative(t *testing.T) {
+	called := false
+	Parallel(0, 4, func(_, _, _ int) { called = true })
+	Parallel(-5, 4, func(_, _, _ int) { called = true })
+	if called {
+		t.Fatal("Parallel invoked fn for empty range")
+	}
+}
+
+func TestSimParallelCoversShards(t *testing.T) {
+	var order []int
+	res := SimParallel(5, SimConfig{}, func(i int) { order = append(order, i) })
+	if len(order) != 5 {
+		t.Fatalf("got %d shards, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("shards out of order: %v", order)
+		}
+	}
+	if res.Shards != 5 {
+		t.Errorf("Shards = %d, want 5", res.Shards)
+	}
+	if res.Wall <= 0 || res.Total <= 0 {
+		t.Errorf("non-positive timing: %+v", res)
+	}
+}
+
+func TestSimParallelCriticalPath(t *testing.T) {
+	// One slow shard dominates: speedup should be well below p.
+	res := SimParallel(4, SimConfig{}, func(i int) {
+		d := time.Millisecond
+		if i == 0 {
+			d = 10 * time.Millisecond
+		}
+		busy(d)
+	})
+	if s := res.Speedup(); s > 2.5 {
+		t.Errorf("imbalanced region reported speedup %.2f, want < 2.5", s)
+	}
+	// Balanced shards: speedup should approach p.
+	res = SimParallel(4, SimConfig{}, func(i int) { busy(5 * time.Millisecond) })
+	if s := res.Speedup(); s < 3 || s > 4.5 {
+		t.Errorf("balanced region reported speedup %.2f, want ~4", s)
+	}
+}
+
+func TestSimParallelNUMAPenalty(t *testing.T) {
+	cfg := SimConfig{SocketCores: 2, NUMAPenalty: 3.0}
+	res := SimParallel(4, cfg, func(i int) { busy(2 * time.Millisecond) })
+	// Shards 2,3 pay 3x, so wall ~6ms while total ~8ms: speedup < 4/2.
+	if s := res.Speedup(); s > 2.0 {
+		t.Errorf("NUMA-penalized speedup %.2f, want < 2.0", s)
+	}
+}
+
+func TestSimRangePartition(t *testing.T) {
+	const n = 103
+	hits := make([]int, n)
+	SimRange(n, 7, SimConfig{}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestSimRangeMoreShardsThanWork(t *testing.T) {
+	hits := make([]int, 3)
+	res := SimRange(3, 16, SimConfig{}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+	if res.Shards > 3 {
+		t.Errorf("Shards = %d, want <= 3", res.Shards)
+	}
+}
+
+func TestTimerAccumulates(t *testing.T) {
+	tm := NewTimer()
+	tm.Add("a", time.Second)
+	tm.Add("a", time.Second)
+	tm.Add("b", time.Millisecond)
+	if got := tm.Get("a"); got != 2*time.Second {
+		t.Errorf("Get(a) = %v, want 2s", got)
+	}
+	if got := tm.Total(); got != 2*time.Second+time.Millisecond {
+		t.Errorf("Total = %v", got)
+	}
+	seg := tm.Segments()
+	if len(seg) != 2 {
+		t.Errorf("Segments has %d entries, want 2", len(seg))
+	}
+	tm.Reset()
+	if tm.Total() != 0 {
+		t.Error("Reset did not clear segments")
+	}
+}
+
+func TestTimerTime(t *testing.T) {
+	tm := NewTimer()
+	tm.Time("x", func() { busy(2 * time.Millisecond) })
+	if tm.Get("x") < time.Millisecond {
+		t.Errorf("Time charged %v, want >= 1ms", tm.Get("x"))
+	}
+}
+
+// busy spins for approximately d without sleeping, so durations are
+// attributable to CPU work in both real and simulated executors.
+func busy(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+func TestSpeedupZeroWall(t *testing.T) {
+	if (SimResult{}).Speedup() != 0 {
+		t.Error("zero-wall SimResult should report 0 speedup")
+	}
+}

@@ -1,0 +1,78 @@
+package perf
+
+import (
+	"math"
+	"time"
+)
+
+// SimShardTimes executes the given work decomposed into n shards,
+// serially, and returns each shard's measured duration. Combined with
+// GroupWall it lets a harness measure a parallel decomposition once
+// and then evaluate the simulated wall time for *any* smaller core
+// count whose partition boundaries align (grouping k consecutive
+// shards per core reproduces the coarser partition exactly).
+func SimShardTimes(n int, shard func(i int)) []time.Duration {
+	times := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		shard(i)
+		times[i] = time.Since(start)
+	}
+	return times
+}
+
+// GroupWall folds per-shard times into `cores` contiguous groups and
+// returns the simulated parallel timing under cfg: each group is one
+// simulated core; groups scheduled beyond cfg.SocketCores pay the
+// NUMA penalty; wall = slowest group + barrier term.
+func GroupWall(times []time.Duration, cores int, cfg SimConfig) SimResult {
+	n := len(times)
+	if cores < 1 {
+		cores = 1
+	}
+	if cores > n && n > 0 {
+		cores = n
+	}
+	barrier := cfg.BarrierNS
+	if barrier == 0 {
+		barrier = 1500
+	}
+	chunk := (n + cores - 1) / cores
+	var total, max float64
+	groups := 0
+	for g := 0; g*chunk < n; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		var sum float64
+		for _, t := range times[lo:hi] {
+			sum += float64(t)
+			total += float64(t)
+		}
+		if cfg.SocketCores > 0 && cfg.NUMAPenalty > 1 && g >= cfg.SocketCores {
+			sum *= cfg.NUMAPenalty
+		}
+		if sum > max {
+			max = sum
+		}
+		groups++
+	}
+	wall := max + barrier*math.Log2(float64(groups)+1)
+	return SimResult{
+		Wall:     time.Duration(wall),
+		Total:    time.Duration(total),
+		MaxShard: time.Duration(max),
+		Shards:   groups,
+	}
+}
+
+// SumDurations adds a slice of durations.
+func SumDurations(ts []time.Duration) time.Duration {
+	var s time.Duration
+	for _, t := range ts {
+		s += t
+	}
+	return s
+}

@@ -1,0 +1,264 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequences diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a, b := NewStream(7, 0), NewStream(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 0 and 1 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestStreamStable(t *testing.T) {
+	a, b := NewStream(7, 3), NewStream(7, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("stream (7,3) not reproducible at step %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(9)
+	const trials = 200000
+	var sum, sumsq float64
+	for i := 0; i < trials; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / trials
+	variance := sumsq/trials - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{0, 1, 2, 10, 257} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(17)
+	for _, tc := range []struct{ n, k int }{
+		{10, 0}, {10, 1}, {10, 3}, {10, 10}, {1000, 5}, {1000, 900},
+	} {
+		s := r.Sample(tc.n, tc.k)
+		if len(s) != tc.k {
+			t.Fatalf("Sample(%d,%d) returned %d items", tc.n, tc.k, len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("Sample(%d,%d) invalid: %v", tc.n, tc.k, s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleCoverage(t *testing.T) {
+	// Every element of [0,n) must be reachable by Sample.
+	r := New(19)
+	const n, k = 20, 5
+	hit := make([]bool, n)
+	for i := 0; i < 2000; i++ {
+		for _, v := range r.Sample(n, k) {
+			hit[v] = true
+		}
+	}
+	for i, h := range hit {
+		if !h {
+			t.Errorf("element %d never sampled", i)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(23)
+	const p, trials = 0.25, 100000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / trials
+	want := (1 - p) / p
+	if math.Abs(mean-want) > 0.1 {
+		t.Errorf("geometric mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(29)
+	const lambda, trials = 2.0, 100000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += r.Exponential(lambda)
+	}
+	mean := sum / trials
+	if math.Abs(mean-1/lambda) > 0.01 {
+		t.Errorf("exponential mean = %v, want ~%v", mean, 1/lambda)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ x, y, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.x, c.y)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.x, c.y, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	r := New(31)
+	f := func(n uint16) bool {
+		m := int(n)%1000 + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPermProperty(t *testing.T) {
+	r := New(37)
+	f := func(n uint8) bool {
+		m := int(n) % 64
+		p := r.Perm(m)
+		sum := 0
+		for _, v := range p {
+			sum += v
+		}
+		return sum == m*(m-1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000)
+	}
+	_ = sink
+}

@@ -1,0 +1,157 @@
+package sampler
+
+// White-box tests of the Dashboard data structure (Algorithms 3-4):
+// block layout, invalidation, cleanup compaction and growth.
+
+import (
+	"testing"
+
+	"gsgcn/internal/graph"
+)
+
+func TestDashboardAppendBlockLayout(t *testing.T) {
+	db := newDashboard(32)
+	db.appendBlock(7, 4)
+	if db.used != 4 || db.live != 1 {
+		t.Fatalf("used=%d live=%d", db.used, db.live)
+	}
+	// Block head stores -length; the rest store offsets.
+	if db.offset[0] != -4 {
+		t.Errorf("head offset = %d, want -4", db.offset[0])
+	}
+	for k := 1; k < 4; k++ {
+		if db.offset[k] != int32(k) {
+			t.Errorf("offset[%d] = %d, want %d", k, db.offset[k], k)
+		}
+		if db.vertex[k] != 7 {
+			t.Errorf("vertex[%d] = %d, want 7", k, db.vertex[k])
+		}
+	}
+	if db.iaStart[0] != 0 || !db.iaLive[0] || db.iaVert[0] != 7 {
+		t.Errorf("IA record wrong: start=%d live=%v vert=%d", db.iaStart[0], db.iaLive[0], db.iaVert[0])
+	}
+}
+
+func TestDashboardInvalidateFromAnyEntry(t *testing.T) {
+	for probe := 0; probe < 3; probe++ {
+		db := newDashboard(32)
+		db.appendBlock(5, 3)
+		v, blockLen := db.invalidate(probe)
+		if v != 5 || blockLen != 3 {
+			t.Fatalf("probe %d: invalidate returned v=%d len=%d", probe, v, blockLen)
+		}
+		for k := 0; k < 3; k++ {
+			if db.vertex[k] != invalid {
+				t.Errorf("probe %d: entry %d not invalidated", probe, k)
+			}
+		}
+		if db.iaLive[0] {
+			t.Error("IA record still live after invalidate")
+		}
+		if db.live != 0 {
+			t.Errorf("live = %d, want 0", db.live)
+		}
+	}
+}
+
+func TestDashboardCleanupCompacts(t *testing.T) {
+	db := newDashboard(64)
+	db.appendBlock(1, 3)
+	db.appendBlock(2, 4)
+	db.appendBlock(3, 2)
+	db.invalidate(0) // kill vertex 1's block
+	usedBefore := db.used
+	moved := db.cleanup()
+	if moved != 6 {
+		t.Errorf("moved = %d entries, want 6 (blocks of 4 and 2)", moved)
+	}
+	if db.used != 6 || db.used >= usedBefore {
+		t.Errorf("used = %d after cleanup, want 6 < %d", db.used, usedBefore)
+	}
+	// Surviving blocks must be intact and addressable.
+	if db.vertex[0] != 2 || db.offset[0] != -4 {
+		t.Errorf("first surviving block corrupted: v=%d off=%d", db.vertex[0], db.offset[0])
+	}
+	if db.vertex[4] != 3 || db.offset[4] != -2 {
+		t.Errorf("second surviving block corrupted: v=%d off=%d", db.vertex[4], db.offset[4])
+	}
+	// IA rebuilt with only live entries.
+	if len(db.iaStart) != 2 || db.iaVert[0] != 2 || db.iaVert[1] != 3 {
+		t.Errorf("IA after cleanup: starts=%v verts=%v", db.iaStart, db.iaVert)
+	}
+	// Invalidate through the compacted table still works.
+	v, l := db.invalidate(5) // inside vertex 3's block
+	if v != 3 || l != 2 {
+		t.Errorf("post-cleanup invalidate: v=%d len=%d", v, l)
+	}
+}
+
+func TestDashboardCleanupAllDead(t *testing.T) {
+	db := newDashboard(16)
+	db.appendBlock(1, 2)
+	db.invalidate(0)
+	if moved := db.cleanup(); moved != 0 {
+		t.Errorf("moved = %d, want 0", moved)
+	}
+	if db.used != 0 || db.live != 0 {
+		t.Errorf("used=%d live=%d after full cleanup", db.used, db.live)
+	}
+}
+
+func TestGrowDashboardPreservesContent(t *testing.T) {
+	db := newDashboard(8)
+	db.appendBlock(4, 3)
+	db.appendBlock(9, 5)
+	grown := growDashboard(db, 100)
+	if len(grown.vertex) < 100 {
+		t.Fatalf("grown capacity %d < 100", len(grown.vertex))
+	}
+	if grown.used != db.used || grown.live != db.live {
+		t.Fatalf("bookkeeping lost: used %d->%d live %d->%d", db.used, grown.used, db.live, grown.live)
+	}
+	for k := 0; k < db.used; k++ {
+		if grown.vertex[k] != db.vertex[k] || grown.offset[k] != db.offset[k] || grown.iaIdx[k] != db.iaIdx[k] {
+			t.Fatalf("entry %d corrupted by growth", k)
+		}
+	}
+	// New tail must be invalid (unprobeable).
+	for k := db.used; k < len(grown.vertex); k++ {
+		if grown.vertex[k] != invalid {
+			t.Fatalf("grown tail entry %d not invalid", k)
+		}
+	}
+}
+
+func TestFrontierEntriesClamp(t *testing.T) {
+	g := starGraph(t, 100)
+	f := &Frontier{G: g, M: 4, N: 10}
+	if e := f.entries(0); e != 100 {
+		t.Errorf("hub entries = %d, want 100", e)
+	}
+	f.DegCap = 30
+	if e := f.entries(0); e != 30 {
+		t.Errorf("capped hub entries = %d, want 30", e)
+	}
+	// Leaves have degree 1.
+	if e := f.entries(5); e != 1 {
+		t.Errorf("leaf entries = %d, want 1", e)
+	}
+}
+
+func TestFrontierEntriesIsolated(t *testing.T) {
+	g, err := newGraphWithIsolated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Frontier{G: g, M: 2, N: 4}
+	// Vertex 2 is isolated: still gets one entry so it stays poppable.
+	if e := f.entries(2); e != 1 {
+		t.Errorf("isolated entries = %d, want 1", e)
+	}
+}
+
+// newGraphWithIsolated builds a 3-vertex graph where vertex 2 is
+// isolated.
+func newGraphWithIsolated() (*graph.CSR, error) {
+	return graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+}

@@ -1,0 +1,415 @@
+package sampler
+
+import (
+	"fmt"
+
+	"gsgcn/internal/graph"
+	"gsgcn/internal/rng"
+)
+
+// Frontier configures the frontier sampling algorithm (Algorithm 2).
+// The sampler maintains a frontier set of M vertices; at each step it
+// pops a vertex with probability proportional to its degree, replaces
+// it with a uniformly random neighbor, and adds the popped vertex to
+// the sample, until N vertices (counting the initial frontier) have
+// been emitted.
+type Frontier struct {
+	G *graph.CSR
+	// M is the frontier size; the paper reports m = 1000 as a good
+	// empirical value (Section IV-A).
+	M int
+	// N is the vertex budget n of the sampled subgraph.
+	N int
+	// Eta is the Dashboard enlargement factor η > 1 (Section IV-B).
+	// Zero selects the default 2.
+	Eta float64
+	// DegCap, when positive, caps the number of Dashboard entries a
+	// vertex receives regardless of its true degree. The paper uses
+	// 30 for the highly skewed Amazon graph to stop hub vertices from
+	// dominating every subgraph (Section VI-C2).
+	DegCap int
+	// Lanes is the intra-sampler parallelism width p_intra (the AVX
+	// lane count on the paper's platform, at most 8 with AVX2).
+	// It affects only the lane-decomposition statistics used to
+	// evaluate Fig. 4B; the sampled distribution is identical.
+	Lanes int
+}
+
+const invalid = int32(-1)
+
+// Stats records the operation counts of one sampling run; the Fig. 4B
+// harness uses them to derive the lane-parallel (vectorized) speedup,
+// and tests use them to validate Theorem 1's cost model.
+type Stats struct {
+	Pops        int   // number of frontier pops (n - m)
+	Probes      int   // random probes into the Dashboard, incl. rejected
+	Cleanups    int   // Dashboard compactions
+	Written     int64 // Dashboard entries written (init + appends + cleanup moves)
+	Invalidated int64 // Dashboard entries invalidated by pops
+	// BlockLens[L] counts block operations (invalidate or append) of
+	// length L; Σ ceil(L/p) over this histogram is the lane-parallel
+	// memory cost at width p.
+	BlockLens map[int]int64
+}
+
+// LaneRounds returns Σ_ops ceil(L/p): the number of lane-parallel
+// memory rounds needed at lane width p. LaneRounds(1) equals the
+// total scalar entry operations.
+func (s *Stats) LaneRounds(p int) int64 {
+	if p < 1 {
+		p = 1
+	}
+	var rounds int64
+	for l, c := range s.BlockLens {
+		rounds += int64((l+p-1)/p) * c
+	}
+	return rounds
+}
+
+// LaneSpeedup returns the simulated speedup of executing all block
+// memory operations with p lanes instead of 1 (the Fig. 4B "gain by
+// AVX" metric). Probing work is unaffected by lanes: one probe per
+// round regardless, so it is excluded here and accounted separately
+// by the harness.
+func (s *Stats) LaneSpeedup(p int) float64 {
+	r := s.LaneRounds(p)
+	if r == 0 {
+		return 1
+	}
+	return float64(s.LaneRounds(1)) / float64(r)
+}
+
+// entries returns the number of Dashboard entries vertex v occupies:
+// its degree, clamped to [1, DegCap]. Degree-0 vertices get one entry
+// so they remain poppable (the paper leaves this case unspecified).
+func (f *Frontier) entries(v int32) int {
+	d := f.G.Degree(v)
+	if d < 1 {
+		d = 1
+	}
+	if f.DegCap > 0 && d > f.DegCap {
+		d = f.DegCap
+	}
+	return d
+}
+
+// Name implements VertexSampler.
+func (f *Frontier) Name() string { return "frontier-dashboard" }
+
+// SampleVertices implements VertexSampler using the Dashboard.
+func (f *Frontier) SampleVertices(r *rng.RNG) []int32 {
+	vs, _ := f.SampleVerticesStats(r)
+	return vs
+}
+
+// dashboard is the paper's DB/IA pair in structure-of-arrays form.
+// Per DB entry: vertex id (slot 1), offset within its block (slot 2;
+// the block head instead stores the block length), and the index of
+// the owning IA record (slot 3). IA records the block start and a
+// liveness flag per vertex ever added (current or historical frontier
+// vertex), enabling cleanup without scanning dead space.
+type dashboard struct {
+	vertex []int32
+	offset []int32
+	iaIdx  []int32
+
+	iaStart []int32
+	iaLive  []bool
+	iaVert  []int32
+
+	used int // first free DB slot
+	live int // number of live IA records (current frontier size)
+}
+
+func newDashboard(capacity int) *dashboard {
+	db := &dashboard{
+		vertex: make([]int32, capacity),
+		offset: make([]int32, capacity),
+		iaIdx:  make([]int32, capacity),
+	}
+	for i := range db.vertex {
+		db.vertex[i] = invalid
+	}
+	return db
+}
+
+// appendBlock writes a block of n entries for vertex v and registers
+// it in IA. The caller guarantees capacity.
+func (db *dashboard) appendBlock(v int32, n int) {
+	start := db.used
+	ia := int32(len(db.iaStart))
+	db.iaStart = append(db.iaStart, int32(start))
+	db.iaLive = append(db.iaLive, true)
+	db.iaVert = append(db.iaVert, v)
+	for k := 0; k < n; k++ {
+		db.vertex[start+k] = v
+		if k == 0 {
+			db.offset[start+k] = int32(-n) // block head stores -length
+		} else {
+			db.offset[start+k] = int32(k)
+		}
+		db.iaIdx[start+k] = ia
+	}
+	db.used += n
+	db.live++
+}
+
+// invalidate kills the block containing entry idx and returns its
+// vertex and length.
+func (db *dashboard) invalidate(idx int) (v int32, blockLen int) {
+	off := db.offset[idx]
+	start := idx
+	if off > 0 {
+		start = idx - int(off)
+	}
+	blockLen = int(-db.offset[start])
+	v = db.vertex[start]
+	for k := 0; k < blockLen; k++ {
+		db.vertex[start+k] = invalid
+	}
+	db.iaLive[db.iaIdx[start]] = false
+	db.live--
+	return v, blockLen
+}
+
+// cleanup compacts live blocks to the front of the DB and rebuilds IA
+// (Algorithm 4, PARDO_CLEANUP). It returns the number of entries
+// moved.
+func (db *dashboard) cleanup() int64 {
+	newStart := make([]int32, 0, db.live)
+	newVert := make([]int32, 0, db.live)
+	w := 0
+	var moved int64
+	for ia, liveFlag := range db.iaLive {
+		if !liveFlag {
+			continue
+		}
+		start := int(db.iaStart[ia])
+		blockLen := int(-db.offset[start])
+		newIA := int32(len(newStart))
+		newStart = append(newStart, int32(w))
+		newVert = append(newVert, db.iaVert[ia])
+		// Move the block; regions never overlap forward since w <= start.
+		for k := 0; k < blockLen; k++ {
+			db.vertex[w+k] = db.vertex[start+k]
+			db.offset[w+k] = db.offset[start+k]
+			db.iaIdx[w+k] = newIA
+		}
+		w += blockLen
+		moved += int64(blockLen)
+	}
+	for i := w; i < db.used; i++ {
+		db.vertex[i] = invalid
+	}
+	db.used = w
+	newLive := make([]bool, len(newStart))
+	for i := range newLive {
+		newLive[i] = true
+	}
+	db.iaStart = newStart
+	db.iaLive = newLive
+	db.iaVert = newVert
+	return moved
+}
+
+// SampleVerticesStats runs the Dashboard-based frontier sampler
+// (Algorithm 3) and returns the sampled vertex multiset plus
+// operation statistics.
+func (f *Frontier) SampleVerticesStats(r *rng.RNG) ([]int32, *Stats) {
+	g := f.G
+	if g.NumVertices() == 0 {
+		return nil, &Stats{BlockLens: map[int]int64{}}
+	}
+	m := f.M
+	if m > g.NumVertices() {
+		m = g.NumVertices()
+	}
+	if m < 1 {
+		m = 1
+	}
+	n := f.N
+	if n < m {
+		n = m
+	}
+	eta := f.Eta
+	if eta <= 1 {
+		eta = 2
+	}
+
+	stats := &Stats{BlockLens: make(map[int]int64)}
+
+	// Capacity η·m·d̄ where d̄ is the (capped) average degree estimate
+	// (Algorithm 3 lines 1-2). Grown on demand if a burst of hubs
+	// lands in the frontier.
+	dbar := g.AvgDegree()
+	if f.DegCap > 0 && dbar > float64(f.DegCap) {
+		dbar = float64(f.DegCap)
+	}
+	if dbar < 1 {
+		dbar = 1
+	}
+	capacity := int(eta * float64(m) * dbar)
+	db := newDashboard(capacity)
+
+	// Initial frontier: m distinct vertices uniformly at random.
+	vsub := make([]int32, 0, n)
+	for _, v := range r.Sample(g.NumVertices(), m) {
+		vv := int32(v)
+		e := f.entries(vv)
+		if db.used+e > len(db.vertex) {
+			db = growDashboard(db, db.used+e)
+		}
+		db.appendBlock(vv, e)
+		stats.Written += int64(e)
+		stats.BlockLens[e]++
+		vsub = append(vsub, vv)
+	}
+
+	for len(vsub) < n {
+		// Pop: rejection-probe the used prefix of the DB; entry
+		// counts are proportional to (capped) degree, so the hit
+		// distribution matches Algorithm 2 line 4.
+		var idx int
+		for {
+			stats.Probes++
+			idx = r.Intn(db.used)
+			if db.vertex[idx] != invalid {
+				break
+			}
+		}
+		vpop, blockLen := db.invalidate(idx)
+		stats.Pops++
+		stats.Invalidated += int64(blockLen)
+		stats.BlockLens[blockLen]++
+		vsub = append(vsub, vpop)
+
+		// Replace with a uniformly random neighbor (Algorithm 2 line
+		// 5); isolated vertices fall back to a uniform vertex so the
+		// frontier never shrinks.
+		var vnew int32
+		if d := g.Degree(vpop); d > 0 {
+			vnew = g.Neighbor(vpop, r.Intn(d))
+		} else {
+			vnew = int32(r.Intn(g.NumVertices()))
+		}
+		e := f.entries(vnew)
+		if db.used+e > len(db.vertex) {
+			// Dashboard full (Algorithm 3 line 20): compact.
+			moved := db.cleanup()
+			stats.Cleanups++
+			stats.Written += moved
+			if db.used+e > len(db.vertex) {
+				db = growDashboard(db, db.used+e)
+			}
+		}
+		db.appendBlock(vnew, e)
+		stats.Written += int64(e)
+		stats.BlockLens[e]++
+	}
+	return vsub, stats
+}
+
+// growDashboard doubles capacity (at least to need), preserving
+// content. This is a safety valve beyond the paper's fixed η·m·d̄
+// sizing, needed when hubs exceed the average-degree estimate.
+func growDashboard(db *dashboard, need int) *dashboard {
+	newCap := 2 * len(db.vertex)
+	if newCap < need {
+		newCap = need * 2
+	}
+	nd := newDashboard(newCap)
+	copy(nd.vertex, db.vertex[:db.used])
+	copy(nd.offset, db.offset[:db.used])
+	copy(nd.iaIdx, db.iaIdx[:db.used])
+	nd.iaStart = db.iaStart
+	nd.iaLive = db.iaLive
+	nd.iaVert = db.iaVert
+	nd.used = db.used
+	nd.live = db.live
+	return nd
+}
+
+// NaiveFrontier is the straightforward O(m) -per-pop implementation
+// of Algorithm 2 used as the correctness and performance baseline
+// ("a straightforward implementation requires O(m·n) work",
+// Section IV-A). It maintains the frontier as a plain slice and
+// recomputes the cumulative degree distribution on every pop.
+type NaiveFrontier struct {
+	G      *graph.CSR
+	M, N   int
+	DegCap int
+}
+
+// Name implements VertexSampler.
+func (f *NaiveFrontier) Name() string { return "frontier-naive" }
+
+// SampleVertices implements VertexSampler.
+func (f *NaiveFrontier) SampleVertices(r *rng.RNG) []int32 {
+	g := f.G
+	if g.NumVertices() == 0 {
+		return nil
+	}
+	m := f.M
+	if m > g.NumVertices() {
+		m = g.NumVertices()
+	}
+	if m < 1 {
+		m = 1
+	}
+	n := f.N
+	if n < m {
+		n = m
+	}
+	weight := func(v int32) float64 {
+		d := g.Degree(v)
+		if d < 1 {
+			d = 1
+		}
+		if f.DegCap > 0 && d > f.DegCap {
+			d = f.DegCap
+		}
+		return float64(d)
+	}
+
+	fs := make([]int32, 0, m)
+	for _, v := range r.Sample(g.NumVertices(), m) {
+		fs = append(fs, int32(v))
+	}
+	vsub := make([]int32, 0, n)
+	vsub = append(vsub, fs...)
+	for len(vsub) < n {
+		total := 0.0
+		for _, v := range fs {
+			total += weight(v)
+		}
+		x := r.Float64() * total
+		sel := 0
+		for i, v := range fs {
+			x -= weight(v)
+			if x < 0 {
+				sel = i
+				break
+			}
+		}
+		vpop := fs[sel]
+		vsub = append(vsub, vpop)
+		var vnew int32
+		if d := g.Degree(vpop); d > 0 {
+			vnew = g.Neighbor(vpop, r.Intn(d))
+		} else {
+			vnew = int32(r.Intn(g.NumVertices()))
+		}
+		fs[sel] = vnew
+	}
+	return vsub
+}
+
+// TheoreticalSpeedupBound returns the Theorem 1 guarantee: for a
+// given epsilon, the sampler scales at least p/(1+eps) for all
+// p <= eps*d*(4 + 3/(eta-1)) - eta.
+func TheoreticalSpeedupBound(eps, d, eta float64) (maxP float64) {
+	if eta <= 1 {
+		panic(fmt.Sprintf("sampler: eta must exceed 1, got %v", eta))
+	}
+	return eps*d*(4+3/(eta-1)) - eta
+}

@@ -1,0 +1,113 @@
+package sampler
+
+import (
+	"gsgcn/internal/graph"
+	"gsgcn/internal/rng"
+)
+
+// Node2VecWalk is a biased second-order random-walk sampler in the
+// style of node2vec (Grover & Leskovec, KDD'16): the next step from v
+// given the previous vertex t is weighted 1/P for returning to t, 1
+// for a common neighbor of t and v, and 1/Q for moving outward. Small
+// Q pushes walks outward (DFS-like structural exploration), small P
+// keeps them local (BFS-like community coverage). It extends the
+// sampler family beyond the paper's frontier sampler, per the stated
+// future work.
+type Node2VecWalk struct {
+	G       *graph.CSR
+	Walkers int
+	Depth   int
+	// P is the return parameter; Q is the in-out parameter. Zero
+	// values default to 1 (an unbiased walk).
+	P, Q float64
+}
+
+// Name implements VertexSampler.
+func (s *Node2VecWalk) Name() string { return "node2vec-walk" }
+
+// SampleVertices implements VertexSampler via rejection sampling over
+// the neighbor list (the standard trick that avoids materializing the
+// transition distribution: accept neighbor w with probability
+// weight(w)/maxWeight).
+func (s *Node2VecWalk) SampleVertices(r *rng.RNG) []int32 {
+	g := s.G
+	p, q := s.P, s.Q
+	if p <= 0 {
+		p = 1
+	}
+	if q <= 0 {
+		q = 1
+	}
+	maxW := 1.0
+	if 1/p > maxW {
+		maxW = 1 / p
+	}
+	if 1/q > maxW {
+		maxW = 1 / q
+	}
+	out := make([]int32, 0, s.Walkers*(s.Depth+1))
+	for w := 0; w < s.Walkers; w++ {
+		v := int32(r.Intn(g.N))
+		out = append(out, v)
+		prev := int32(-1)
+		for d := 0; d < s.Depth; d++ {
+			deg := g.Degree(v)
+			if deg == 0 {
+				break
+			}
+			var next int32
+			if prev < 0 {
+				next = g.Neighbor(v, r.Intn(deg))
+			} else {
+				// Rejection-sample the biased step.
+				for {
+					cand := g.Neighbor(v, r.Intn(deg))
+					var weight float64
+					switch {
+					case cand == prev:
+						weight = 1 / p
+					case g.HasEdge(cand, prev):
+						weight = 1
+					default:
+						weight = 1 / q
+					}
+					if r.Float64()*maxW < weight {
+						next = cand
+						break
+					}
+				}
+			}
+			out = append(out, next)
+			prev, v = v, next
+		}
+	}
+	return out
+}
+
+// EdgeInduced samples edges uniformly and induces the subgraph over
+// their endpoints — the edge-sampling minibatch construction later
+// popularized by GraphSAINT. Unlike RandomEdge (which emits endpoint
+// multisets until a vertex budget), EdgeInduced fixes the number of
+// sampled edges.
+type EdgeInduced struct {
+	G     *graph.CSR
+	Edges int
+}
+
+// Name implements VertexSampler.
+func (s *EdgeInduced) Name() string { return "edge-induced" }
+
+// SampleVertices implements VertexSampler.
+func (s *EdgeInduced) SampleVertices(r *rng.RNG) []int32 {
+	g := s.G
+	arcs := int(g.NumDirectedEdges())
+	if arcs == 0 {
+		return (&RandomNode{G: g, Budget: s.Edges}).SampleVertices(r)
+	}
+	out := make([]int32, 0, 2*s.Edges)
+	for e := 0; e < s.Edges; e++ {
+		a := r.Intn(arcs)
+		out = append(out, vertexOfArc(g, a), g.ColIdx[a])
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package sampler
+
+import (
+	"sync"
+
+	"gsgcn/internal/graph"
+	"gsgcn/internal/perf"
+	"gsgcn/internal/rng"
+)
+
+// Pool implements the training scheduler of Algorithm 5: it maintains
+// a set {G_i} of pre-sampled subgraphs; when the set is empty it
+// launches PInter sampler instances in parallel (inter-subgraph
+// parallelism), each drawing one independent subgraph from the
+// training graph. Next pops one subgraph per training iteration.
+//
+// Each parallel instance owns a private RNG stream derived from
+// (Seed, batch, instance), so results are deterministic regardless of
+// goroutine scheduling.
+type Pool struct {
+	G       *graph.CSR
+	Sampler VertexSampler
+	// PInter is the number of concurrent sampler instances
+	// (p_inter in Section IV-C; 40 on the paper's platform).
+	PInter int
+	// Workers bounds the real goroutines used to run the instances;
+	// zero means GOMAXPROCS. PInter instances are still sampled per
+	// refill, matching the paper's schedule even on small hosts.
+	Workers int
+	Seed    uint64
+
+	mu    sync.Mutex
+	queue []*graph.Subgraph
+	batch int
+}
+
+// NewPool returns a Pool with an empty subgraph set.
+func NewPool(g *graph.CSR, s VertexSampler, pinter int, seed uint64) *Pool {
+	if pinter < 1 {
+		pinter = 1
+	}
+	return &Pool{G: g, Sampler: s, PInter: pinter, Seed: seed}
+}
+
+// Next returns the next pre-sampled subgraph, refilling the pool with
+// PInter freshly sampled subgraphs when it is empty.
+func (p *Pool) Next() *graph.Subgraph {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
+		p.refillLocked()
+	}
+	sub := p.queue[len(p.queue)-1]
+	p.queue = p.queue[:len(p.queue)-1]
+	return sub
+}
+
+// Pending returns the number of subgraphs currently pooled.
+func (p *Pool) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+func (p *Pool) refillLocked() {
+	out := make([]*graph.Subgraph, p.PInter)
+	workers := p.Workers
+	if workers <= 0 {
+		workers = perf.NumWorkers()
+	}
+	batch := p.batch
+	p.batch++
+	perf.Parallel(p.PInter, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := rng.NewStream(p.Seed, batch*p.PInter+i)
+			out[i] = SampleSubgraph(p.G, p.Sampler, r)
+		}
+	})
+	p.queue = append(p.queue, out...)
+}
+
+// SimulateRefill measures one pool refill under the simulated
+// multicore executor: PInter instances, one per simulated core. The
+// returned SimResult's Speedup is the Fig. 4A series point for
+// p_inter = PInter.
+func (p *Pool) SimulateRefill(cfg perf.SimConfig) perf.SimResult {
+	batch := p.batch
+	p.batch++
+	return perf.SimParallel(p.PInter, cfg, func(i int) {
+		r := rng.NewStream(p.Seed, batch*p.PInter+i)
+		_ = SampleSubgraph(p.G, p.Sampler, r)
+	})
+}
