@@ -1,0 +1,29 @@
+# CI entry points. `make ci` is the gate future PRs run; `make bench`
+# tracks the serial-vs-parallel epoch speedup trajectory.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# -p 1 serializes packages: the perf package asserts on real
+# wall-clock shard measurements, which cross-package contention on
+# small CI hosts would otherwise skew.
+race:
+	$(GO) test -race -p 1 ./...
+
+# One iteration per Epoch benchmark: prints ns/op for Workers=1 vs
+# parallel so the speedup of the goroutine-parallel engine is visible
+# in CI logs without a long run.
+bench:
+	$(GO) test -run=NONE -bench=Epoch -benchtime=1x .

@@ -238,6 +238,34 @@ func BenchmarkTrainEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainEpochWorkers benchmarks serial vs parallel training
+// epochs side by side on the PPI preset. Every kernel and the sampler
+// pool are worker-invariant, so all sub-benchmarks perform the exact
+// same arithmetic — the ratio of their ns/op is the real wall-clock
+// speedup of the goroutine-parallel engine (the measured counterpart
+// of the paper's Fig. 3A). Future PRs track the speedup trajectory
+// with `make bench`.
+func BenchmarkTrainEpochWorkers(b *testing.B) {
+	ds, err := LoadPreset("ppi", 0.05, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, 4}
+	if n := perf.NumWorkers(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			model := NewModel(ds, Config{Layers: 2, Hidden: 64, Workers: w, PInter: 4, Seed: 4})
+			tr := NewTrainer(ds, model)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Epoch()
+			}
+		})
+	}
+}
+
 // BenchmarkFullGraphInference measures validation-time full-graph
 // inference.
 func BenchmarkFullGraphInference(b *testing.B) {

@@ -27,6 +27,7 @@ func main() {
 		hidden   = flag.Int("hidden", 64, "hidden dimension for training experiments")
 		datasets = flag.String("datasets", "", "comma-separated preset subset (default: all four)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
+		workers  = flag.Int("workers", 0, "real goroutines for experiments that honor ExpOptions.Workers (currently the samplers ablation; the scaling figures sweep simulated cores, and fig2 trains serially by design). 0 = GOMAXPROCS; results are identical at any setting")
 		quick    = flag.Bool("quick", false, "tiny smoke-test configuration")
 	)
 	flag.Parse()
@@ -39,6 +40,7 @@ func main() {
 	o.Epochs = *epochs
 	o.Hidden = *hidden
 	o.Seed = *seed
+	o.Workers = *workers
 	if *datasets != "" {
 		o.Datasets = strings.Split(*datasets, ",")
 	}

@@ -27,6 +27,9 @@ func main() {
 		m       = flag.Int("frontier", 0, "frontier size m (0 = auto)")
 		budget  = flag.Int("budget", 0, "subgraph vertex budget n (0 = auto)")
 		degCap  = flag.Int("degcap", 0, "Dashboard degree cap (0 = uncapped; paper uses 30 for amazon)")
+		workers = flag.Int("workers", 0, "real goroutines for sampling and dense kernels (0 = GOMAXPROCS; the loss trace is identical at any setting)")
+		pinter  = flag.Int("pinter", 0, "sampler instances per pool wave, p_inter (0 = GOMAXPROCS)")
+		prefet  = flag.Int("prefetch", 0, "sampler pipeline depth in waves (0 = default 2)")
 		seed    = flag.Uint64("seed", 1, "seed")
 		sampler = flag.String("sampler", "frontier", "sampler: frontier|random-node|random-edge|random-walk|forest-fire")
 		save    = flag.String("save", "", "write model checkpoint to this path after training")
@@ -44,7 +47,8 @@ func main() {
 
 	cfg := gsgcn.Config{
 		Layers: *layers, Hidden: *hidden, LR: *lr,
-		FrontierM: *m, Budget: *budget, DegCap: *degCap, Seed: *seed,
+		FrontierM: *m, Budget: *budget, DegCap: *degCap,
+		Workers: *workers, PInter: *pinter, Prefetch: *prefet, Seed: *seed,
 	}
 	model := gsgcn.NewModel(ds, cfg)
 	fmt.Println(model)

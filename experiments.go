@@ -31,6 +31,12 @@ type ExpOptions struct {
 	Hidden int
 	// Sim configures the simulated multicore executor.
 	Sim perf.SimConfig
+	// Workers is the real goroutine budget for training experiments
+	// (0 = GOMAXPROCS). The scaling figures still sweep *simulated*
+	// cores via Cores; Workers controls actual wall-clock parallelism.
+	// Every kernel is worker-invariant, so results are identical at
+	// any setting — only speed changes.
+	Workers int
 	// Seed makes the whole suite reproducible.
 	Seed uint64
 	// Quick shrinks everything further for unit tests.

@@ -1,0 +1,3 @@
+module gsgcn
+
+go 1.21

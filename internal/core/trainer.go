@@ -52,6 +52,7 @@ func NewTrainerWithSampler(ds *datasets.Dataset, m *Model, s sampler.VertexSampl
 	}
 	pool := sampler.NewPool(ds.G, s, cfg.PInter, cfg.Seed)
 	pool.Workers = cfg.Workers
+	pool.Prefetch = cfg.Prefetch
 	return &Trainer{
 		DS:        ds,
 		Model:     m,
@@ -78,10 +79,11 @@ func (t *Trainer) Step() float64 {
 	feat := t.DS.FeatureDim()
 	h0 := mat.New(n, feat)
 	labels := mat.New(n, t.DS.NumClasses)
+	workers := t.Model.cfg.Workers
+	idx := make([]int, n)
 	var mask []int
 	for i, v := range sub.Orig {
-		copy(h0.Row(i), t.DS.Features.Row(int(v)))
-		copy(labels.Row(i), t.DS.Labels.Row(int(v)))
+		idx[i] = int(v)
 		if t.trainMask[v] {
 			mask = append(mask, i)
 		}
@@ -89,6 +91,8 @@ func (t *Trainer) Step() float64 {
 	if len(mask) == 0 {
 		return 0
 	}
+	mat.GatherRowsP(h0, t.DS.Features, idx, workers)
+	mat.GatherRowsP(labels, t.DS.Labels, idx, workers)
 
 	ctx := t.Model.ctxFor(sub.CSR, feat, t.Timer)
 	cfg := t.Model.cfg

@@ -18,6 +18,19 @@ import (
 	"gsgcn/internal/perf"
 )
 
+// Dispatch grains for the cheap kernels: parallel dispatch is only
+// worth it when each chunk amortizes the pool handoff. Both are pure
+// constants, so the effective decomposition stays a function of shape
+// and worker count alone (the determinism contract).
+const (
+	// elemGrain is the minimum elements per chunk for elementwise
+	// kernels (one add or one function call per index).
+	elemGrain = 4096
+	// copyRowGrain is the minimum rows per chunk for row-copy kernels
+	// (one memmove per index).
+	copyRowGrain = 64
+)
+
 // Dense is a row-major matrix. Data[i*Cols+j] is element (i, j).
 // The zero value is an empty matrix.
 type Dense struct {
@@ -181,54 +194,93 @@ func MulShards(dst, a, b *Dense, p int, cfg perf.SimConfig) perf.SimResult {
 
 // MulAT computes dst = aᵀ * b (dst is a.Cols x b.Cols). Needed by the
 // backward pass: dW = Hᵀ · dY.
+//
+// The row range of a is decomposed into a fixed number of shards that
+// depends only on a.Rows — never on workers — each shard accumulates a
+// private partial product, and the partials are reduced in shard
+// order. Floating-point addition is not associative, so this fixed
+// decomposition is what makes the result bit-identical at every worker
+// count (the training engine's determinism contract: Workers=1 and
+// Workers=8 must produce the same loss trace).
 func MulAT(dst, a, b *Dense, workers int) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("mat: MulAT shape mismatch")
 	}
-	// Parallelize over output rows (columns of a). Each worker scans
-	// a column-strided view of a; to keep the inner loop streaming we
-	// instead accumulate per-worker partial blocks over row chunks.
 	n := b.Cols
 	k := a.Cols
-	if workers <= 1 || a.Rows < 64 {
+	shards := mulATShards(a.Rows, k, n)
+	if shards <= 1 {
 		dst.Zero()
-		for r := 0; r < a.Rows; r++ {
-			arow := a.Data[r*k : (r+1)*k]
-			brow := b.Data[r*n : (r+1)*n]
-			for c, av := range arow {
-				if av == 0 {
-					continue
-				}
-				axpy(dst.Data[c*n:(c+1)*n], brow, av)
-			}
-		}
+		accumATRange(dst.Data, a, b, 0, a.Rows)
 		return
 	}
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	partials := make([]*Dense, workers)
-	perf.Parallel(a.Rows, workers, func(w, lo, hi int) {
-		p := New(k, n)
-		for r := lo; r < hi; r++ {
-			arow := a.Data[r*k : (r+1)*k]
-			brow := b.Data[r*n : (r+1)*n]
-			for c, av := range arow {
-				if av == 0 {
-					continue
-				}
-				axpy(p.Data[c*n:(c+1)*n], brow, av)
-			}
+	// shards > 1 always goes through per-shard partial buffers — even
+	// at workers == 1, where perf.Parallel degrades to a serial loop —
+	// so that every worker count performs the exact same additions in
+	// the exact same grouping.
+	partials := make([][]float64, shards)
+	perf.Parallel(shards, workers, func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			lo := s * a.Rows / shards
+			hi := (s + 1) * a.Rows / shards
+			p := make([]float64, k*n)
+			accumATRange(p, a, b, lo, hi)
+			partials[s] = p
 		}
-		partials[w] = p
 	})
-	dst.Zero()
-	for _, p := range partials {
-		if p == nil {
-			continue
+	// Reduce in fixed shard order; each output element is owned by
+	// exactly one chunk, so the reduction parallelizes bit-exactly.
+	perf.ParallelMin(len(dst.Data), elemGrain, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := 0.0
+			for _, p := range partials {
+				v += p[i]
+			}
+			dst.Data[i] = v
 		}
-		for i, v := range p.Data {
-			dst.Data[i] += v
+	})
+}
+
+// mulATShards returns the fixed shard count for a MulAT of the given
+// shape: at least 64 rows per shard so each partial amortizes its
+// allocation, at most 64 shards (enough to occupy the paper's 40-core
+// platform), and few enough that the k x n partial buffers stay
+// within a fixed memory budget. The count is a function of the
+// problem shape only — never of the worker count — which is what
+// keeps the reduction order, and therefore the result, bit-identical
+// at every Workers setting.
+func mulATShards(rows, k, n int) int {
+	const minBlock = 64
+	const maxShards = 64
+	const partialBudget = 16 << 20 // bytes across all partial buffers
+	s := rows / minBlock
+	if s > maxShards {
+		s = maxShards
+	}
+	if bytes := k * n * 8; bytes > 0 {
+		if byBudget := partialBudget / bytes; s > byBudget {
+			s = byBudget
+		}
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// accumATRange adds rows [lo, hi) of the product aᵀ·b into acc (a
+// k x n buffer in row-major order).
+func accumATRange(acc []float64, a, b *Dense, lo, hi int) {
+	n := b.Cols
+	k := a.Cols
+	for r := lo; r < hi; r++ {
+		arow := a.Data[r*k : (r+1)*k]
+		brow := b.Data[r*n : (r+1)*n]
+		for c, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy(acc[c*n:(c+1)*n], brow, av)
 		}
 	}
 }
@@ -333,6 +385,32 @@ func Apply(dst, a *Dense, f func(float64) float64) {
 	}
 }
 
+// ApplyP is Apply sharded across workers goroutines. Each element is
+// owned by exactly one chunk, so the result is identical to Apply at
+// every worker count. dst may alias a.
+func ApplyP(dst, a *Dense, f func(float64) float64, workers int) {
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("mat: ApplyP shape mismatch")
+	}
+	perf.ParallelMin(len(a.Data), elemGrain, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = f(a.Data[i])
+		}
+	})
+}
+
+// AddScaledP is AddScaled sharded across workers goroutines;
+// element-owned, hence bit-identical to AddScaled at every worker
+// count.
+func AddScaledP(dst, src *Dense, alpha float64, workers int) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("mat: AddScaledP shape mismatch")
+	}
+	perf.ParallelMin(len(dst.Data), elemGrain, workers, func(_, lo, hi int) {
+		axpy(dst.Data[lo:hi], src.Data[lo:hi], alpha)
+	})
+}
+
 // ConcatCols writes [a | b] into dst (dst is a.Rows x (a.Cols+b.Cols)).
 // This implements the neighbor-self concatenation of Algorithm 1 line 9.
 func ConcatCols(dst, a, b *Dense) {
@@ -344,6 +422,22 @@ func ConcatCols(dst, a, b *Dense) {
 		copy(drow[:a.Cols], a.Row(i))
 		copy(drow[a.Cols:], b.Row(i))
 	}
+}
+
+// ConcatColsP is ConcatCols sharded by contiguous row blocks; each
+// output row is owned by exactly one worker, so the result matches
+// ConcatCols bit-for-bit at every worker count.
+func ConcatColsP(dst, a, b *Dense, workers int) {
+	if a.Rows != b.Rows || dst.Rows != a.Rows || dst.Cols != a.Cols+b.Cols {
+		panic("mat: ConcatColsP shape mismatch")
+	}
+	perf.ParallelMin(a.Rows, copyRowGrain, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst.Row(i)
+			copy(drow[:a.Cols], a.Row(i))
+			copy(drow[a.Cols:], b.Row(i))
+		}
+	})
 }
 
 // SplitCols is the inverse of ConcatCols: it copies the first a.Cols
@@ -360,6 +454,21 @@ func SplitCols(a, b, src *Dense) {
 	}
 }
 
+// SplitColsP is SplitCols sharded by contiguous row blocks
+// (row-owned, bit-identical to SplitCols at every worker count).
+func SplitColsP(a, b, src *Dense, workers int) {
+	if a.Rows != src.Rows || b.Rows != src.Rows || src.Cols != a.Cols+b.Cols {
+		panic("mat: SplitColsP shape mismatch")
+	}
+	perf.ParallelMin(src.Rows, copyRowGrain, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			srow := src.Row(i)
+			copy(a.Row(i), srow[:a.Cols])
+			copy(b.Row(i), srow[a.Cols:])
+		}
+	})
+}
+
 // GatherRows writes a[idx[i]] into dst row i. It implements
 // H(0)[V_sub] of Algorithm 1 line 5.
 func GatherRows(dst, a *Dense, idx []int) {
@@ -369,6 +478,22 @@ func GatherRows(dst, a *Dense, idx []int) {
 	for i, r := range idx {
 		copy(dst.Row(i), a.Data[r*a.Cols:(r+1)*a.Cols])
 	}
+}
+
+// GatherRowsP is GatherRows sharded by contiguous destination row
+// blocks (row-owned, bit-identical to GatherRows at every worker
+// count). It parallelizes the minibatch feature/label gather of
+// Algorithm 1 line 5.
+func GatherRowsP(dst, a *Dense, idx []int, workers int) {
+	if dst.Rows != len(idx) || dst.Cols != a.Cols {
+		panic("mat: GatherRowsP shape mismatch")
+	}
+	perf.ParallelMin(len(idx), copyRowGrain, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := idx[i]
+			copy(dst.Row(i), a.Data[r*a.Cols:(r+1)*a.Cols])
+		}
+	})
 }
 
 // Transpose returns aᵀ as a new matrix.

@@ -1,0 +1,86 @@
+package nn
+
+// Bit-exactness suite for the parallel nn kernels (ISSUE 1): forward
+// aggregation, full layer forward/backward and the dense head must
+// produce element-identical outputs and gradients at every Workers
+// (and feature-partition Q) setting. Run with -race to exercise the
+// sharded paths under the race detector.
+
+import (
+	"testing"
+
+	"gsgcn/internal/mat"
+	"gsgcn/internal/rng"
+)
+
+func requireSame(t *testing.T, tag string, got, want *mat.Dense) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape mismatch", tag)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d differs: %v != %v", tag, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestAggregateBitExactAcrossWorkersAndQ(t *testing.T) {
+	const n, f = 23, 13 // prime-ish odd sizes
+	ctx := testCtx(t, n)
+	src := randMat(rng.New(3), n, f)
+	for _, agg := range []Aggregator{AggMean, AggSym, AggSum} {
+		want := mat.New(n, f)
+		aggregate(want, src, ctx.G, agg, 1, 1)
+		for _, q := range []int{1, 2, 5, f, f + 10} {
+			for _, w := range []int{1, 2, 8} {
+				got := mat.New(n, f)
+				aggregate(got, src, ctx.G, agg, q, w)
+				requireSame(t, agg.String(), got, want)
+				gotT := mat.New(n, f)
+				aggregateT(gotT, src, ctx.G, agg, q, w)
+				wantT := mat.New(n, f)
+				aggregateT(wantT, src, ctx.G, agg, 1, 1)
+				requireSame(t, agg.String()+"/T", gotT, wantT)
+			}
+		}
+	}
+}
+
+// layerPass runs one forward+backward through a freshly initialized
+// layer and head at the given worker count and returns everything a
+// training step derives from the kernels: output, input gradient and
+// parameter gradients.
+func layerPass(t *testing.T, workers int) []*mat.Dense {
+	t.Helper()
+	const n, in, out = 21, 9, 5
+	ctx := testCtx(t, n)
+	ctx.Workers = workers
+	ctx.Q = 3
+	r := rng.New(77)
+	layer := NewGCNLayer(in, out, r)
+	head := NewDense(layer.OutWidth(), 4, r)
+	h := randMat(rng.New(5), n, in)
+
+	z := layer.Forward(ctx, h)
+	logits := head.Forward(ctx, z)
+	dLogits := randMat(rng.New(7), n, 4)
+	dZ := head.Backward(ctx, dLogits)
+	dH := layer.Backward(ctx, dZ)
+
+	results := []*mat.Dense{z, logits, dZ, dH}
+	for _, p := range append(layer.Params(), head.Params()...) {
+		results = append(results, p.Grad)
+	}
+	return results
+}
+
+func TestLayerForwardBackwardBitExactAcrossWorkers(t *testing.T) {
+	want := layerPass(t, 1)
+	for _, workers := range []int{2, 8} {
+		got := layerPass(t, workers)
+		for i := range want {
+			requireSame(t, "pass output", got[i], want[i])
+		}
+	}
+}

@@ -176,13 +176,13 @@ func (l *GCNLayer) Forward(ctx *Ctx, h *mat.Dense) *mat.Dense {
 		mat.Mul(zNeigh, hNeigh, l.WNeigh.W, ctx.Workers)
 	})
 	z := mat.New(n, 2*l.OutDim)
-	mat.ConcatCols(z, zSelf, zNeigh)
+	mat.ConcatColsP(z, zSelf, zNeigh, ctx.Workers)
 	l.lastH, l.lastHNeigh, l.lastZ = h, hNeigh, z
 	if !l.Activate {
 		return z.Clone()
 	}
 	out := mat.New(n, 2*l.OutDim)
-	mat.Apply(out, z, relu)
+	mat.ApplyP(out, z, relu, ctx.Workers)
 	return out
 }
 
@@ -196,17 +196,20 @@ func (l *GCNLayer) Backward(ctx *Ctx, dOut *mat.Dense) *mat.Dense {
 	n := dOut.Rows
 	dZ := mat.New(n, 2*l.OutDim)
 	if l.Activate {
-		for i, z := range l.lastZ.Data {
-			if z > 0 {
-				dZ.Data[i] = dOut.Data[i]
+		// ReLU gate, sharded by elements (each owned by one worker).
+		perf.ParallelMin(len(l.lastZ.Data), 4096, ctx.Workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if l.lastZ.Data[i] > 0 {
+					dZ.Data[i] = dOut.Data[i]
+				}
 			}
-		}
+		})
 	} else {
 		dZ.CopyFrom(dOut)
 	}
 	dZSelf := mat.New(n, l.OutDim)
 	dZNeigh := mat.New(n, l.OutDim)
-	mat.SplitCols(dZSelf, dZNeigh, dZ)
+	mat.SplitColsP(dZSelf, dZNeigh, dZ, ctx.Workers)
 
 	ctx.time("weight", func() {
 		// dW_self += Hᵀ·dZ_self ; dW_neigh += H_neighᵀ·dZ_neigh.
@@ -228,7 +231,7 @@ func (l *GCNLayer) Backward(ctx *Ctx, dOut *mat.Dense) *mat.Dense {
 	ctx.time("featprop", func() {
 		aggregateT(back, dHNeigh, ctx.G, l.Agg, ctx.Q, ctx.Workers)
 	})
-	mat.AddScaled(dH, back, 1)
+	mat.AddScaledP(dH, back, 1, ctx.Workers)
 	if l.lastMask != nil {
 		for i, m := range l.lastMask {
 			dH.Data[i] *= m
@@ -283,12 +286,14 @@ func (d *Dense) Forward(ctx *Ctx, h *mat.Dense) *mat.Dense {
 	ctx.time("weight", func() {
 		mat.Mul(out, h, d.W.W, ctx.Workers)
 	})
-	for i := 0; i < out.Rows; i++ {
-		row := out.Row(i)
-		for j := range row {
-			row[j] += d.B.W.Data[j]
+	perf.ParallelMin(out.Rows, 64, ctx.Workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := out.Row(i)
+			for j := range row {
+				row[j] += d.B.W.Data[j]
+			}
 		}
-	}
+	})
 	d.lastH = h
 	return out
 }

@@ -23,10 +23,18 @@ import (
 )
 
 // Parallel runs fn over the index range [0, n) split into at most
-// workers contiguous chunks, using real goroutines. fn receives the
-// worker id and the half-open range [lo, hi) it owns. It blocks until
-// all chunks complete. workers <= 1 or n small degrades to a serial
-// call, avoiding goroutine overhead on tiny inputs.
+// workers contiguous chunks, dispatched over the shared long-lived
+// worker pool. fn receives the worker id and the half-open range
+// [lo, hi) it owns. It blocks until all chunks complete. workers <= 1
+// (or n <= 1) degrades to a serial call. Parallel does not assume a
+// work grain — an index may be one float or one whole sampler
+// instance — so callers whose indices are cheap should bound dispatch
+// overhead with ParallelMin instead.
+//
+// The chunk decomposition depends only on (n, workers): chunk w covers
+// [w*ceil(n/workers), ...). Kernels that assign each output element to
+// exactly one chunk therefore produce bit-identical results however
+// the pool schedules the chunks.
 func Parallel(n, workers int, fn func(worker, lo, hi int)) {
 	if n <= 0 {
 		return
@@ -38,25 +46,33 @@ func Parallel(n, workers int, fn func(worker, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	Shared().Run(workers, func(w int) {
 		lo := w * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			wg.Done()
-			continue
-		}
-		go func(w, lo, hi int) {
-			defer wg.Done()
+		if lo < hi {
 			fn(w, lo, hi)
-		}(w, lo, hi)
+		}
+	})
+}
+
+// ParallelMin is Parallel with a minimum chunk grain: it caps the
+// chunk count so every chunk spans at least minChunk indices, running
+// small inputs serially rather than paying pool dispatch for a few
+// cheap indices each. The effective decomposition is a pure function
+// of (n, minChunk, workers), so kernels whose output elements are
+// each owned by one index keep their results bit-identical at every
+// worker count.
+func ParallelMin(n, minChunk, workers int, fn func(worker, lo, hi int)) {
+	if minChunk > 1 && workers > 1 {
+		if byGrain := n / minChunk; workers > byGrain {
+			workers = byGrain
+		}
 	}
-	wg.Wait()
+	Parallel(n, workers, fn)
 }
 
 // NumWorkers returns the default worker count for real parallel loops:

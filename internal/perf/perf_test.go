@@ -4,6 +4,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"gsgcn/internal/testutil"
 )
 
 func TestParallelCoversRange(t *testing.T) {
@@ -66,20 +68,28 @@ func TestSimParallelCoversShards(t *testing.T) {
 }
 
 func TestSimParallelCriticalPath(t *testing.T) {
+	// Both measurements are wall-clock, so a descheduled shard on a
+	// busy CI host can inflate them; testutil.BestOf retries before
+	// declaring the simulator wrong.
+	//
 	// One slow shard dominates: speedup should be well below p.
-	res := SimParallel(4, SimConfig{}, func(i int) {
-		d := time.Millisecond
-		if i == 0 {
-			d = 10 * time.Millisecond
-		}
-		busy(d)
-	})
-	if s := res.Speedup(); s > 2.5 {
+	if s, ok := testutil.BestOf(3, func() (float64, bool) {
+		res := SimParallel(4, SimConfig{}, func(i int) {
+			d := time.Millisecond
+			if i == 0 {
+				d = 10 * time.Millisecond
+			}
+			busy(d)
+		})
+		return res.Speedup(), res.Speedup() <= 2.5
+	}); !ok {
 		t.Errorf("imbalanced region reported speedup %.2f, want < 2.5", s)
 	}
 	// Balanced shards: speedup should approach p.
-	res = SimParallel(4, SimConfig{}, func(i int) { busy(5 * time.Millisecond) })
-	if s := res.Speedup(); s < 3 || s > 4.5 {
+	if s, ok := testutil.BestOf(3, func() (float64, bool) {
+		res := SimParallel(4, SimConfig{}, func(i int) { busy(5 * time.Millisecond) })
+		return res.Speedup(), res.Speedup() >= 3 && res.Speedup() <= 4.5
+	}); !ok {
 		t.Errorf("balanced region reported speedup %.2f, want ~4", s)
 	}
 }

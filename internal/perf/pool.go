@@ -1,0 +1,113 @@
+package perf
+
+import (
+	"runtime"
+	"sync"
+)
+
+// WorkerPool is a set of long-lived goroutines executing sharded
+// parallel loops. Spawning a goroutine per chunk (as the previous
+// Parallel did) costs a stack allocation and scheduler round trip on
+// every kernel call; training issues thousands of small parallel
+// regions per epoch (one per matmul / propagation), so those costs
+// land squarely on the hot path. A WorkerPool pays the goroutine
+// start-up once and then dispatches chunks over a channel.
+//
+// Dispatch is deadlock-free by construction: the submitting goroutine
+// offers each chunk to the pool with a non-blocking send and runs the
+// chunk inline when no worker accepts it. Nested parallel regions
+// (a pool task that itself calls Run or Parallel) therefore always
+// make progress — in the worst case the nested region degrades to a
+// serial loop on the occupied worker.
+type WorkerPool struct {
+	tasks chan poolTask
+	size  int
+}
+
+type poolTask struct {
+	fn func(w int)
+	w  int
+	wg *sync.WaitGroup
+}
+
+// NewWorkerPool starts size long-lived workers (size <= 0 means
+// GOMAXPROCS). Pools are never torn down in normal operation; create
+// one per process (or use Shared) rather than per call site.
+func NewWorkerPool(size int) *WorkerPool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &WorkerPool{tasks: make(chan poolTask), size: size}
+	for i := 0; i < size; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *WorkerPool) worker() {
+	for t := range p.tasks {
+		t.fn(t.w)
+		t.wg.Done()
+	}
+}
+
+// Size returns the number of long-lived workers.
+func (p *WorkerPool) Size() int { return p.size }
+
+// Run executes fn(0) .. fn(workers-1), distributing chunks across the
+// pool and running whatever the pool cannot absorb inline on the
+// calling goroutine. It returns when every chunk has completed. The
+// decomposition (which w values run) depends only on workers, never on
+// how many pool goroutines happened to pick chunks up, so callers that
+// shard deterministic work by chunk id get identical results at every
+// pool size.
+func (p *WorkerPool) Run(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		if !p.offer(poolTask{fn: fn, w: w, wg: &wg}) {
+			// Pool saturated: run inline.
+			fn(w)
+			wg.Done()
+		}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// offer hands a task to a parked worker, yielding the processor a few
+// times to let workers that are between tasks reach their receive
+// before giving up. The channel must stay unbuffered and the final
+// fallback must stay inline: a task parked in a buffer while every
+// worker is blocked inside an outer region's wg.Wait would deadlock
+// nested parallel regions, whereas a task handed to a parked worker
+// is by definition being executed.
+func (p *WorkerPool) offer(t poolTask) bool {
+	for attempt := 0; ; attempt++ {
+		select {
+		case p.tasks <- t:
+			return true
+		default:
+		}
+		if attempt == 2 {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *WorkerPool
+)
+
+// Shared returns the process-wide worker pool, sized GOMAXPROCS at
+// first use. Parallel and every dense kernel dispatch through it.
+func Shared() *WorkerPool {
+	sharedOnce.Do(func() { sharedPool = NewWorkerPool(0) })
+	return sharedPool
+}

@@ -1,0 +1,89 @@
+package perf
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkerPoolRunsEveryChunkOnce(t *testing.T) {
+	p := NewWorkerPool(4)
+	for _, workers := range []int{1, 2, 3, 4, 7, 16, 33} {
+		counts := make([]int32, workers)
+		p.Run(workers, func(w int) { atomic.AddInt32(&counts[w], 1) })
+		for w, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: chunk %d ran %d times, want 1", workers, w, c)
+			}
+		}
+	}
+}
+
+func TestParallelCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, workers := range []int{1, 2, 3, 8, 40} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			Parallel(n, workers, func(_, lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d covered %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestNestedParallelNoDeadlock exercises parallel regions that launch
+// parallel regions from inside pool workers; the inline-fallback
+// dispatch must keep making progress even when every pool goroutine is
+// occupied by an outer region.
+func TestNestedParallelNoDeadlock(t *testing.T) {
+	outer := 4 * Shared().Size()
+	var total int64
+	Parallel(outer, outer, func(_, lo, hi int) {
+		for o := lo; o < hi; o++ {
+			Parallel(100, 8, func(_, ilo, ihi int) {
+				atomic.AddInt64(&total, int64(ihi-ilo))
+			})
+		}
+	})
+	if want := int64(outer * 100); total != want {
+		t.Fatalf("nested total = %d, want %d", total, want)
+	}
+}
+
+// TestParallelConcurrentCallers hammers the shared pool from many
+// goroutines at once; run with -race to check dispatch safety.
+func TestParallelConcurrentCallers(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				sum := make([]int64, 8)
+				Parallel(512, 8, func(w, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						sum[w] += int64(i)
+					}
+				})
+				var s int64
+				for _, v := range sum {
+					s += v
+				}
+				if s != 512*511/2 {
+					t.Errorf("goroutine %d: sum = %d", g, s)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

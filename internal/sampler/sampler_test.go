@@ -2,6 +2,7 @@ package sampler
 
 import (
 	"testing"
+	"time"
 
 	"gsgcn/internal/graph"
 	"gsgcn/internal/perf"
@@ -162,26 +163,46 @@ func TestPoolRefillAndNext(t *testing.T) {
 	g := testGraph(t)
 	p := NewPool(g, &Frontier{G: g, M: 30, N: 150}, 4, 99)
 	if p.Pending() != 0 {
-		t.Fatal("new pool should be empty")
+		t.Fatal("new pool should be empty before first Next")
 	}
-	first := p.Next()
-	if first == nil || first.N == 0 {
-		t.Fatal("Next returned empty subgraph")
-	}
-	if p.Pending() != 3 {
-		t.Fatalf("after one Next, pending = %d, want 3", p.Pending())
-	}
-	for i := 0; i < 3; i++ {
-		if p.Next() == nil {
-			t.Fatal("Next returned nil")
+	// Draw several waves' worth; the async pipeline must keep
+	// producing non-empty subgraphs while staying self-limiting.
+	draws := 4 * p.PInter
+	for i := 0; i < draws; i++ {
+		sub := p.Next()
+		if sub == nil || sub.N == 0 {
+			t.Fatalf("Next %d returned empty subgraph", i)
 		}
 	}
-	// Pool now empty; next call must refill again.
-	if p.Next() == nil {
-		t.Fatal("refill on empty pool failed")
+	// Bounded-prefetch invariant, checked at the accounting level (a
+	// full channel would mask over-launching from Pending): the work
+	// ever launched may exceed the work consumed only by the pipeline
+	// depth, and buffer credits can never go negative.
+	p.mu.Lock()
+	launched := p.nextWave * p.PInter
+	credits := p.credits
+	p.mu.Unlock()
+	if bound := draws + p.depth()*p.PInter; launched > bound {
+		t.Fatalf("launched %d subgraphs after consuming %d; pipeline bound is %d", launched, draws, bound)
 	}
-	if p.Pending() != 3 {
-		t.Fatalf("pending after second refill = %d, want 3", p.Pending())
+	if credits < 0 {
+		t.Fatalf("buffer credits went negative: %d", credits)
+	}
+}
+
+// TestPoolPrefetchOverlap checks that the pipeline works ahead: after
+// the consumer drains one subgraph and sampling is given time to run,
+// buffered subgraphs accumulate without further Next calls.
+func TestPoolPrefetchOverlap(t *testing.T) {
+	g := testGraph(t)
+	p := NewPool(g, &Frontier{G: g, M: 30, N: 150}, 4, 99)
+	p.Next()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("prefetcher buffered nothing within 5s of first Next")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
@@ -248,10 +269,11 @@ func BenchmarkPoolRefill(b *testing.B) {
 	p := NewPool(g, &Frontier{G: g, M: 100, N: 500}, 8, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.mu.Lock()
-		p.queue = p.queue[:0]
-		p.refillLocked()
-		p.mu.Unlock()
+		// One wave's worth of draws forces at least one background
+		// wave to be sampled per iteration.
+		for j := 0; j < p.PInter; j++ {
+			p.Next()
+		}
 	}
 }
 

@@ -1,0 +1,21 @@
+// Package testutil holds small helpers shared by tests across
+// packages.
+package testutil
+
+// BestOf runs a wall-clock-sensitive measurement up to attempts
+// times, stopping early once the predicate holds. It returns the last
+// measured value and whether any attempt satisfied the predicate.
+// Tests that assert on real timing (simulated-speedup bounds) use it
+// so a single descheduled shard on a busy CI host does not fail the
+// suite.
+func BestOf(attempts int, measure func() (value float64, ok bool)) (float64, bool) {
+	var last float64
+	for i := 0; i < attempts; i++ {
+		v, ok := measure()
+		last = v
+		if ok {
+			return last, true
+		}
+	}
+	return last, false
+}

@@ -49,7 +49,7 @@ func RunSamplerAblation(o ExpOptions) (*SamplerAblationResult, error) {
 		sub := Sample(ds.G, s, o.Seed+1)
 		model := core.NewModel(ds, core.Config{
 			Layers: 2, Hidden: o.Hidden, LR: lr,
-			FrontierM: m, Budget: budget, Workers: 1, Seed: o.Seed,
+			FrontierM: m, Budget: budget, Workers: o.Workers, Seed: o.Seed,
 		})
 		tr := core.NewTrainerWithSampler(ds, model, s)
 		for e := 0; e < o.Epochs; e++ {
