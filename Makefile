@@ -1,12 +1,15 @@
 # CI entry points. `make ci` is the gate future PRs run; `make bench`
-# tracks the serial-vs-parallel epoch speedup trajectory.
+# tracks the serial-vs-parallel epoch speedup trajectory and
+# `make serve-smoke` exercises the datagen→train→serve pipeline
+# end-to-end over HTTP.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench serve-smoke
 
-ci: vet build race bench
+ci: vet build race bench serve-smoke
 
+# ./... covers every package, including internal/serve.
 vet:
 	$(GO) vet ./...
 
@@ -27,3 +30,13 @@ race:
 # in CI logs without a long run.
 bench:
 	$(GO) test -run=NONE -bench=Epoch -benchtime=1x .
+
+# End-to-end serving smoke: generate a dataset, train briefly, save a
+# checkpoint, launch gsgcn-serve against it and assert /embed and
+# /predict answer 200 with sane shapes.
+serve-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/gsgcn-datagen ./cmd/gsgcn-datagen
+	$(GO) build -o bin/gsgcn-train ./cmd/gsgcn-train
+	$(GO) build -o bin/gsgcn-serve ./cmd/gsgcn-serve
+	bash scripts/serve-smoke.sh

@@ -18,6 +18,7 @@ import (
 
 func main() {
 	var (
+		data    = flag.String("data", "", "train on a .gsg dataset file (overrides -dataset; pair with gsgcn-serve -data)")
 		dataset = flag.String("dataset", "ppi", "preset: ppi|reddit|yelp|amazon")
 		scale   = flag.Float64("scale", 0.05, "dataset scale relative to Table I")
 		layers  = flag.Int("layers", 2, "GCN depth")
@@ -37,7 +38,15 @@ func main() {
 	)
 	flag.Parse()
 
-	ds, err := gsgcn.LoadPreset(*dataset, *scale, *seed)
+	var (
+		ds  *gsgcn.Dataset
+		err error
+	)
+	if *data != "" {
+		ds, err = gsgcn.ReadDataset(*data)
+	} else {
+		ds, err = gsgcn.LoadPreset(*dataset, *scale, *seed)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gsgcn-train:", err)
 		os.Exit(1)
@@ -85,10 +94,14 @@ func main() {
 	fmt.Printf("time breakdown: sampling %.2fs  featprop %.2fs  weight %.2fs\n",
 		seg["sampling"].Seconds(), seg["featprop"].Seconds(), seg["weight"].Seconds())
 	if *save != "" {
+		// Tag the checkpoint with the optimizer step count so serving
+		// processes can report which weights generation they answer
+		// from.
+		model.ModelVersion = uint64(tr.Steps())
 		if err := model.SaveFile(*save); err != nil {
 			fmt.Fprintln(os.Stderr, "gsgcn-train:", err)
 			os.Exit(1)
 		}
-		fmt.Println("saved checkpoint", *save)
+		fmt.Printf("saved checkpoint %s (model_version %d)\n", *save, model.ModelVersion)
 	}
 }

@@ -29,11 +29,13 @@ package gsgcn
 
 import (
 	"fmt"
+	"io"
 
 	"gsgcn/internal/core"
 	"gsgcn/internal/datasets"
 	"gsgcn/internal/graph"
 	"gsgcn/internal/sampler"
+	"gsgcn/internal/serve"
 )
 
 // Re-exported core types. The aliases give downstream users a single
@@ -57,6 +59,14 @@ type (
 	VertexSampler = sampler.VertexSampler
 	// FrontierSampler is the paper's Dashboard-based frontier sampler.
 	FrontierSampler = sampler.Frontier
+	// ServeOptions parameterizes the online inference subsystem.
+	ServeOptions = serve.Options
+	// InferenceEngine computes and serves full-graph embeddings from a
+	// checkpointed model, with atomic hot reload.
+	InferenceEngine = serve.Engine
+	// InferenceServer is the HTTP/JSON request layer (micro-batching,
+	// /embed /predict /topk /healthz /reload) over an InferenceEngine.
+	InferenceServer = serve.Server
 )
 
 // LoadPreset generates a synthetic dataset matching one of the
@@ -88,6 +98,26 @@ func PresetNames() []string { return datasets.PresetNames() }
 
 // NewModel constructs a graph-sampling GCN shaped for the dataset.
 func NewModel(ds *Dataset, cfg Config) *Model { return core.NewModel(ds, cfg) }
+
+// LoadModel reconstructs a model from a format-v2 checkpoint stream —
+// architecture metadata plus weights — without the training dataset.
+func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// LoadModelFile is LoadModel over a checkpoint file.
+func LoadModelFile(path string) (*Model, error) { return core.LoadModelFile(path) }
+
+// NewInferenceEngine wires an online inference engine over the
+// dataset's graph and features; Install or LoadCheckpoint publishes a
+// model before queries can be answered.
+func NewInferenceEngine(ds *Dataset, opts ServeOptions) *InferenceEngine {
+	return serve.NewEngine(ds, opts)
+}
+
+// NewInferenceServer builds the batched HTTP serving layer over ds.
+// Call Load with a checkpoint path, then mount it as an http.Handler.
+func NewInferenceServer(ds *Dataset, opts ServeOptions) *InferenceServer {
+	return serve.NewServer(ds, opts)
+}
 
 // NewTrainer wires a trainer using the Dashboard frontier sampler.
 func NewTrainer(ds *Dataset, m *Model) *Trainer { return core.NewTrainer(ds, m) }

@@ -7,9 +7,20 @@ import (
 	"os"
 )
 
-// checkpoint is the serialized form of a model's trainable state.
+// checkpoint is the serialized form of a model's trainable state plus
+// enough architecture metadata (format v2) to reconstruct the model
+// without the dataset it was trained on — what an inference server
+// needs to come up from a checkpoint file alone.
 type checkpoint struct {
-	Version    int
+	Version int
+
+	// Architecture metadata, present since format v2.
+	ModelVersion uint64 // trained-weights generation tag (e.g. optimizer steps)
+	InDim        int    // input feature dimensionality
+	Classes      int    // classifier output width
+	MultiLabel   bool   // sigmoid-BCE (true) vs softmax-CE head
+	Aggregator   string // neighbor aggregation operator name
+
 	Layers     int
 	Hidden     int
 	Names      []string
@@ -17,17 +28,25 @@ type checkpoint struct {
 	Data       [][]float64
 }
 
-const checkpointVersion = 1
+// checkpointVersion is the current on-disk format. Version 1 lacked
+// the architecture metadata; Load still accepts it (the metadata
+// fields decode as zero values), LoadModel does not.
+const checkpointVersion = 2
 
-// Save writes the model's trainable parameters to w in gob format.
-// Optimizer state is not saved; resumed training restarts Adam's
-// moment estimates.
+// Save writes the model's trainable parameters and architecture
+// metadata to w in gob format. Optimizer state is not saved; resumed
+// training restarts Adam's moment estimates.
 func (m *Model) Save(w io.Writer) error {
 	ps := m.Params()
 	ck := checkpoint{
-		Version: checkpointVersion,
-		Layers:  len(m.Layers),
-		Hidden:  m.cfg.Hidden,
+		Version:      checkpointVersion,
+		ModelVersion: m.ModelVersion,
+		InDim:        m.Layers[0].InDim,
+		Classes:      m.Head.OutDim,
+		MultiLabel:   m.Loss.Name() == "sigmoid-bce",
+		Aggregator:   m.Layers[0].Agg.String(),
+		Layers:       len(m.Layers),
+		Hidden:       m.cfg.Hidden,
 	}
 	for _, p := range ps {
 		ck.Names = append(ck.Names, p.Name)
@@ -48,9 +67,17 @@ func (m *Model) Load(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
 		return fmt.Errorf("core: decoding checkpoint: %w", err)
 	}
-	if ck.Version != checkpointVersion {
-		return fmt.Errorf("core: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	if ck.Version < 1 || ck.Version > checkpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, want 1..%d", ck.Version, checkpointVersion)
 	}
+	if err := m.restore(&ck); err != nil {
+		return err
+	}
+	return nil
+}
+
+// restore copies checkpoint tensors into m after verifying shapes.
+func (m *Model) restore(ck *checkpoint) error {
 	ps := m.Params()
 	if len(ps) != len(ck.Names) {
 		return fmt.Errorf("core: checkpoint has %d tensors, model has %d", len(ck.Names), len(ps))
@@ -67,7 +94,54 @@ func (m *Model) Load(r io.Reader) error {
 	for i, p := range ps {
 		copy(p.W.Data, ck.Data[i])
 	}
+	m.ModelVersion = ck.ModelVersion
 	return nil
+}
+
+// LoadModel reconstructs a model purely from a format-v2 checkpoint —
+// architecture metadata plus weights — so that a serving process does
+// not need the training-time dataset object to shape the network.
+func LoadModel(r io.Reader) (*Model, error) {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if ck.Version < 2 {
+		return nil, fmt.Errorf("core: checkpoint version %d has no architecture metadata (need >= 2)", ck.Version)
+	}
+	if ck.InDim <= 0 || ck.Classes <= 0 || ck.Layers <= 0 || ck.Hidden <= 0 {
+		return nil, fmt.Errorf("core: checkpoint metadata invalid (in=%d classes=%d layers=%d hidden=%d)",
+			ck.InDim, ck.Classes, ck.Layers, ck.Hidden)
+	}
+	switch ck.Aggregator {
+	case "", "mean", "sym", "sum":
+	default:
+		// Validate here rather than panicking inside newModelArch: a
+		// corrupt checkpoint must fail a hot reload with an error, not
+		// take the serving process down.
+		return nil, fmt.Errorf("core: checkpoint has unknown aggregator %q", ck.Aggregator)
+	}
+	cfg := Config{
+		Layers:     ck.Layers,
+		Hidden:     ck.Hidden,
+		Aggregator: ck.Aggregator,
+		Seed:       1,
+	}
+	m := newModelArch(ck.InDim, ck.Classes, ck.MultiLabel, cfg)
+	if err := m.restore(&ck); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadModelFile is LoadModel over a checkpoint file.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
 }
 
 // SaveFile writes a checkpoint to path (created or truncated).

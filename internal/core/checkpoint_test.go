@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"path/filepath"
 	"testing"
 )
@@ -76,6 +77,112 @@ func TestCheckpointGarbage(t *testing.T) {
 	m := NewModel(ds, tinyConfig())
 	if err := m.Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
 		t.Fatal("garbage input should fail to decode")
+	}
+}
+
+// TestCheckpointModelVersionRoundTrip checks that the v2 metadata —
+// in particular the trained-weights generation tag — survives a
+// save/load cycle, both into an existing model and through the
+// dataset-free LoadModel reconstruction.
+func TestCheckpointModelVersionRoundTrip(t *testing.T) {
+	ds := tinyDataset(t, true)
+	m := NewModel(ds, tinyConfig())
+	tr := NewTrainer(ds, m)
+	for i := 0; i < 3; i++ {
+		tr.Step()
+	}
+	m.ModelVersion = uint64(tr.Steps())
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewModel(ds, tinyConfig())
+	if err := m2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if m2.ModelVersion != m.ModelVersion {
+		t.Errorf("ModelVersion after Load = %d, want %d", m2.ModelVersion, m.ModelVersion)
+	}
+
+	m3, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.ModelVersion != m.ModelVersion {
+		t.Errorf("ModelVersion after LoadModel = %d, want %d", m3.ModelVersion, m.ModelVersion)
+	}
+}
+
+// TestLoadModelReconstructsArchitecture checks that LoadModel rebuilds
+// the exact architecture (depth, widths, aggregator, loss) and weights
+// from checkpoint metadata alone, producing bit-identical inference.
+func TestLoadModelReconstructsArchitecture(t *testing.T) {
+	ds := tinyDataset(t, false)
+	cfg := tinyConfig()
+	cfg.Aggregator = "sym"
+	m := NewModel(ds, cfg)
+	tr := NewTrainer(ds, m)
+	for i := 0; i < 3; i++ {
+		tr.Step()
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Layers) != len(m.Layers) {
+		t.Fatalf("layers = %d, want %d", len(m2.Layers), len(m.Layers))
+	}
+	if m2.Layers[0].InDim != ds.FeatureDim() || m2.Head.OutDim != ds.NumClasses {
+		t.Fatalf("dims %d->%d, want %d->%d",
+			m2.Layers[0].InDim, m2.Head.OutDim, ds.FeatureDim(), ds.NumClasses)
+	}
+	if m2.Layers[0].Agg.String() != "sym" {
+		t.Errorf("aggregator = %q, want sym", m2.Layers[0].Agg.String())
+	}
+	if m2.Loss.Name() != m.Loss.Name() {
+		t.Errorf("loss = %q, want %q", m2.Loss.Name(), m.Loss.Name())
+	}
+	for i, p := range m.Params() {
+		if !p.W.Equal(m2.Params()[i].W, 0) {
+			t.Fatalf("tensor %q differs after LoadModel", p.Name)
+		}
+	}
+	ctx := m.CtxForGraph(ds.G, ds.FeatureDim(), nil)
+	a := m.Forward(ctx, ds.Features)
+	ctx2 := m2.CtxForGraph(ds.G, ds.FeatureDim(), nil)
+	b := m2.Forward(ctx2, ds.Features)
+	if !a.Equal(b, 0) {
+		t.Error("reconstructed model inference differs from original")
+	}
+}
+
+// TestLoadModelRejectsBadAggregator checks that a corrupt aggregator
+// string fails LoadModel with an error rather than panicking — a
+// hot-reloading server must survive a bad checkpoint file.
+func TestLoadModelRejectsBadAggregator(t *testing.T) {
+	ds := tinyDataset(t, false)
+	m := NewModel(ds, tinyConfig())
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ck checkpoint
+	if err := gob.NewDecoder(&buf).Decode(&ck); err != nil {
+		t.Fatal(err)
+	}
+	ck.Aggregator = "bogus"
+	var buf2 bytes.Buffer
+	if err := gob.NewEncoder(&buf2).Encode(ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(&buf2); err == nil {
+		t.Fatal("LoadModel accepted an unknown aggregator")
 	}
 }
 

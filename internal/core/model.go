@@ -131,15 +131,34 @@ type Model struct {
 	Layers []*nn.GCNLayer
 	Head   *nn.Dense
 	Loss   nn.Loss
-	cfg    Config
+	// ModelVersion tags the trained-weights generation (e.g. the
+	// optimizer step count at save time). It rides along in
+	// checkpoints so a serving process can report and cache-key the
+	// weights it answers from.
+	ModelVersion uint64
+	cfg          Config
 }
 
 // NewModel constructs a model shaped for the dataset under cfg.
 func NewModel(ds *datasets.Dataset, cfg Config) *Model {
 	cfg = cfg.withDefaults(ds)
+	m := newModelArch(ds.FeatureDim(), ds.NumClasses, ds.MultiLabel, cfg)
+	if ds.MultiLabel {
+		// Initialize the output bias at the per-class base-rate logit
+		// so sigmoid-BCE starts from the marginal solution instead of
+		// spending early updates learning label sparsity (121 classes
+		// with ~2 positives per vertex on PPI).
+		initBiasToBaseRate(m.Head, ds)
+	}
+	return m
+}
+
+// newModelArch constructs a model from architecture dimensions alone
+// — the dataset-free path used when reconstructing a model from a
+// checkpoint's metadata. cfg.Layers and cfg.Hidden must be resolved.
+func newModelArch(in, classes int, multiLabel bool, cfg Config) *Model {
 	r := rng.NewStream(cfg.Seed, 0xC0DE)
 	m := &Model{cfg: cfg}
-	in := ds.FeatureDim()
 	agg := nn.AggMean
 	switch cfg.Aggregator {
 	case "", "mean":
@@ -156,14 +175,9 @@ func NewModel(ds *datasets.Dataset, cfg Config) *Model {
 		m.Layers = append(m.Layers, layer)
 		in = layer.OutWidth()
 	}
-	m.Head = nn.NewDense(in, ds.NumClasses, r)
-	if ds.MultiLabel {
+	m.Head = nn.NewDense(in, classes, r)
+	if multiLabel {
 		m.Loss = nn.SigmoidBCE{}
-		// Initialize the output bias at the per-class base-rate logit
-		// so sigmoid-BCE starts from the marginal solution instead of
-		// spending early updates learning label sparsity (121 classes
-		// with ~2 positives per vertex on PPI).
-		initBiasToBaseRate(m.Head, ds)
 	} else {
 		m.Loss = nn.SoftmaxCE{}
 	}

@@ -29,6 +29,12 @@ type Trainer struct {
 	trainMask []bool
 	steps     int
 	dropRng   *rng.RNG
+
+	// Per-step gather scratch, reused across Step calls (fully
+	// overwritten each step) to cut allocation churn on the hot path.
+	bufH0, bufLabels, bufDLogits *mat.Dense
+	bufIdx                       []int
+	bufMask                      []int
 }
 
 // NewTrainer wires a trainer with a Dashboard frontier sampler pool.
@@ -77,17 +83,23 @@ func (t *Trainer) Step() float64 {
 
 	n := sub.N
 	feat := t.DS.FeatureDim()
-	h0 := mat.New(n, feat)
-	labels := mat.New(n, t.DS.NumClasses)
+	t.bufH0 = mat.Reuse(t.bufH0, n, feat)
+	t.bufLabels = mat.Reuse(t.bufLabels, n, t.DS.NumClasses)
+	h0 := t.bufH0
+	labels := t.bufLabels
 	workers := t.Model.cfg.Workers
-	idx := make([]int, n)
-	var mask []int
+	if cap(t.bufIdx) < n {
+		t.bufIdx = make([]int, n)
+	}
+	idx := t.bufIdx[:n]
+	mask := t.bufMask[:0]
 	for i, v := range sub.Orig {
 		idx[i] = int(v)
 		if t.trainMask[v] {
 			mask = append(mask, i)
 		}
 	}
+	t.bufMask = mask[:0]
 	if len(mask) == 0 {
 		return 0
 	}
@@ -102,7 +114,8 @@ func (t *Trainer) Step() float64 {
 		ctx.Rng = t.dropRng
 	}
 	logits := t.Model.Forward(ctx, h0)
-	dLogits := mat.New(n, t.DS.NumClasses)
+	t.bufDLogits = mat.Reuse(t.bufDLogits, n, t.DS.NumClasses)
+	dLogits := t.bufDLogits
 	loss := t.Model.Loss.Eval(logits, labels, mask, dLogits)
 	t.Model.ZeroGrad()
 	t.Model.Backward(ctx, dLogits)

@@ -46,6 +46,22 @@ func New(r, c int) *Dense {
 	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
 }
 
+// Reuse returns an r x c matrix backed by buf's storage when its
+// capacity suffices, allocating a fresh matrix otherwise. Contents
+// are unspecified — callers must fully overwrite (or Zero) the
+// result. It exists so per-step scratch matrices in the training hot
+// path keep their backing arrays across iterations instead of paying
+// a New (allocation + GC) per kernel call.
+func Reuse(buf *Dense, r, c int) *Dense {
+	n := r * c
+	if buf == nil || cap(buf.Data) < n {
+		return New(r, c)
+	}
+	buf.Rows, buf.Cols = r, c
+	buf.Data = buf.Data[:n]
+	return buf
+}
+
 // FromData wraps the given backing slice (not copied) as an r x c
 // matrix. It panics if the slice has the wrong length.
 func FromData(r, c int, data []float64) *Dense {

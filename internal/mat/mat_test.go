@@ -325,3 +325,32 @@ func TestMulRangePanics(t *testing.T) {
 	}()
 	MulRange(New(2, 2), New(2, 3), New(2, 2), 0, 2)
 }
+
+func TestReuse(t *testing.T) {
+	m := Reuse(nil, 3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("Reuse(nil) shape = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	base := &m.Data[0]
+	// Shrinking reuses the backing array.
+	s := Reuse(m, 2, 3)
+	if s != m || &s.Data[0] != base {
+		t.Error("shrinking Reuse reallocated")
+	}
+	if s.Rows != 2 || s.Cols != 3 || len(s.Data) != 6 {
+		t.Errorf("shrunk shape = %dx%d len %d", s.Rows, s.Cols, len(s.Data))
+	}
+	// Growing within capacity reuses too.
+	g := Reuse(s, 4, 3)
+	if g != s || &g.Data[0] != base {
+		t.Error("growth within capacity reallocated")
+	}
+	// Growing beyond capacity allocates fresh storage of the right shape.
+	big := Reuse(g, 10, 10)
+	if big == g {
+		t.Error("growth beyond capacity did not reallocate")
+	}
+	if big.Rows != 10 || big.Cols != 10 || len(big.Data) != 100 {
+		t.Errorf("big shape = %dx%d len %d", big.Rows, big.Cols, len(big.Data))
+	}
+}

@@ -102,7 +102,7 @@ func TestDropoutMaskStatistics(t *testing.T) {
 	r := rng.New(35)
 	h := mat.New(100, 100)
 	h.Fill(1)
-	mask := dropoutInPlace(h, 0.3, r)
+	mask := dropoutInPlace(h, 0.3, r, nil)
 	zeros := 0
 	for i, v := range h.Data {
 		switch v {

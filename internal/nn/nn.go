@@ -129,6 +129,17 @@ type GCNLayer struct {
 	// Cached activations from the last Forward, consumed by Backward.
 	lastH, lastHNeigh, lastZ *mat.Dense
 	lastMask                 []float64
+
+	// Persistent scratch reused across steps so the hot path does not
+	// pay an allocation per kernel call (matrices returned to callers
+	// are still freshly allocated — only layer-internal intermediates
+	// recycle their backing arrays). Every kernel writing into these
+	// fully overwrites its destination, so reuse never changes the
+	// arithmetic and the determinism contract holds.
+	bufDrop, bufZSelf, bufZNeigh *mat.Dense
+	bufDZ, bufDZSelf, bufDZNeigh *mat.Dense
+	bufDW, bufDHNeigh, bufBack   *mat.Dense
+	bufMask                      []float64
 }
 
 // NewGCNLayer constructs a layer with Glorot-initialized weights.
@@ -162,20 +173,24 @@ func (l *GCNLayer) Forward(ctx *Ctx, h *mat.Dense) *mat.Dense {
 		if ctx.Rng == nil {
 			panic("nn: dropout requires Ctx.Rng")
 		}
-		h = h.Clone()
-		l.lastMask = dropoutInPlace(h, ctx.DropRate, ctx.Rng)
+		l.bufDrop = mat.Reuse(l.bufDrop, n, h.Cols)
+		l.bufDrop.CopyFrom(h)
+		h = l.bufDrop
+		l.lastMask = dropoutInPlace(h, ctx.DropRate, ctx.Rng, l.bufMask)
+		l.bufMask = l.lastMask
 	}
-	hNeigh := mat.New(n, l.InDim)
+	hNeigh := mat.Reuse(l.lastHNeigh, n, l.InDim)
 	ctx.time("featprop", func() {
 		aggregate(hNeigh, h, ctx.G, l.Agg, ctx.Q, ctx.Workers)
 	})
-	zSelf := mat.New(n, l.OutDim)
-	zNeigh := mat.New(n, l.OutDim)
+	zSelf := mat.Reuse(l.bufZSelf, n, l.OutDim)
+	zNeigh := mat.Reuse(l.bufZNeigh, n, l.OutDim)
+	l.bufZSelf, l.bufZNeigh = zSelf, zNeigh
 	ctx.time("weight", func() {
 		mat.Mul(zSelf, h, l.WSelf.W, ctx.Workers)
 		mat.Mul(zNeigh, hNeigh, l.WNeigh.W, ctx.Workers)
 	})
-	z := mat.New(n, 2*l.OutDim)
+	z := mat.Reuse(l.lastZ, n, 2*l.OutDim)
 	mat.ConcatColsP(z, zSelf, zNeigh, ctx.Workers)
 	l.lastH, l.lastHNeigh, l.lastZ = h, hNeigh, z
 	if !l.Activate {
@@ -194,40 +209,48 @@ func (l *GCNLayer) Backward(ctx *Ctx, dOut *mat.Dense) *mat.Dense {
 		panic("nn: Backward called before Forward")
 	}
 	n := dOut.Rows
-	dZ := mat.New(n, 2*l.OutDim)
+	dZ := mat.Reuse(l.bufDZ, n, 2*l.OutDim)
+	l.bufDZ = dZ
 	if l.Activate {
 		// ReLU gate, sharded by elements (each owned by one worker).
 		perf.ParallelMin(len(l.lastZ.Data), 4096, ctx.Workers, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if l.lastZ.Data[i] > 0 {
 					dZ.Data[i] = dOut.Data[i]
+				} else {
+					dZ.Data[i] = 0
 				}
 			}
 		})
 	} else {
 		dZ.CopyFrom(dOut)
 	}
-	dZSelf := mat.New(n, l.OutDim)
-	dZNeigh := mat.New(n, l.OutDim)
+	dZSelf := mat.Reuse(l.bufDZSelf, n, l.OutDim)
+	dZNeigh := mat.Reuse(l.bufDZNeigh, n, l.OutDim)
+	l.bufDZSelf, l.bufDZNeigh = dZSelf, dZNeigh
 	mat.SplitColsP(dZSelf, dZNeigh, dZ, ctx.Workers)
 
 	ctx.time("weight", func() {
 		// dW_self += Hᵀ·dZ_self ; dW_neigh += H_neighᵀ·dZ_neigh.
-		dw := mat.New(l.InDim, l.OutDim)
+		dw := mat.Reuse(l.bufDW, l.InDim, l.OutDim)
+		l.bufDW = dw
 		mat.MulAT(dw, l.lastH, dZSelf, ctx.Workers)
 		mat.AddScaled(l.WSelf.Grad, dw, 1)
 		mat.MulAT(dw, l.lastHNeigh, dZNeigh, ctx.Workers)
 		mat.AddScaled(l.WNeigh.Grad, dw, 1)
 	})
 
-	// dH = dZ_self·W_selfᵀ + MeanAggᵀ(dZ_neigh·W_neighᵀ).
+	// dH = dZ_self·W_selfᵀ + MeanAggᵀ(dZ_neigh·W_neighᵀ). dH is
+	// returned to the caller, so it stays freshly allocated.
 	dH := mat.New(n, l.InDim)
-	dHNeigh := mat.New(n, l.InDim)
+	dHNeigh := mat.Reuse(l.bufDHNeigh, n, l.InDim)
+	l.bufDHNeigh = dHNeigh
 	ctx.time("weight", func() {
 		mat.MulBT(dH, dZSelf, l.WSelf.W, ctx.Workers)
 		mat.MulBT(dHNeigh, dZNeigh, l.WNeigh.W, ctx.Workers)
 	})
-	back := mat.New(n, l.InDim)
+	back := mat.Reuse(l.bufBack, n, l.InDim)
+	l.bufBack = back
 	ctx.time("featprop", func() {
 		aggregateT(back, dHNeigh, ctx.G, l.Agg, ctx.Q, ctx.Workers)
 	})
@@ -242,16 +265,23 @@ func (l *GCNLayer) Backward(ctx *Ctx, dOut *mat.Dense) *mat.Dense {
 
 // dropoutInPlace zeroes each element with probability rate and scales
 // survivors by 1/(1-rate) (inverted dropout), returning the applied
-// multiplier per element for the backward pass.
-func dropoutInPlace(h *mat.Dense, rate float64, r *rng.RNG) []float64 {
+// multiplier per element for the backward pass. buf, when large
+// enough, provides the mask storage (every entry is overwritten).
+func dropoutInPlace(h *mat.Dense, rate float64, r *rng.RNG, buf []float64) []float64 {
 	keep := 1 - rate
 	inv := 1 / keep
-	mask := make([]float64, len(h.Data))
+	mask := buf
+	if cap(mask) < len(h.Data) {
+		mask = make([]float64, len(h.Data))
+	} else {
+		mask = mask[:len(h.Data)]
+	}
 	for i := range h.Data {
 		if r.Float64() < keep {
 			mask[i] = inv
 			h.Data[i] *= inv
 		} else {
+			mask[i] = 0
 			h.Data[i] = 0
 		}
 	}
@@ -264,6 +294,7 @@ type Dense struct {
 	InDim, OutDim int
 	W, B          *Param
 	lastH         *mat.Dense
+	bufDW         *mat.Dense // reused dW scratch (see GCNLayer buffers)
 }
 
 // NewDense constructs a Glorot-initialized dense layer.
@@ -302,7 +333,8 @@ func (d *Dense) Forward(ctx *Ctx, h *mat.Dense) *mat.Dense {
 func (d *Dense) Backward(ctx *Ctx, dOut *mat.Dense) *mat.Dense {
 	dH := mat.New(dOut.Rows, d.InDim)
 	ctx.time("weight", func() {
-		dw := mat.New(d.InDim, d.OutDim)
+		dw := mat.Reuse(d.bufDW, d.InDim, d.OutDim)
+		d.bufDW = dw
 		mat.MulAT(dw, d.lastH, dOut, ctx.Workers)
 		mat.AddScaled(d.W.Grad, dw, 1)
 		mat.MulBT(dH, dOut, d.W.W, ctx.Workers)

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"gsgcn/internal/mat"
+)
+
+// errClosed is returned for queries submitted after Close.
+var errClosed = errors.New("serve: server closed")
+
+// batcher coalesces concurrent point queries into one gather (and,
+// for predictions, one head GEMM). Requests queue on a channel; the
+// dispatcher takes whatever is queued when it becomes free — up to
+// MaxBatch ids — and answers the whole batch against a single
+// snapshot with a single pass over the embedding table. Under light
+// load a request is dispatched alone with no added latency (there is
+// no artificial batching window); under heavy concurrency batches
+// fill up and per-query overhead amortizes away.
+type batcher struct {
+	eng      *Engine
+	maxBatch int
+	reqs     chan *batchReq
+	done     chan struct{}
+	closing  sync.Once
+
+	// batches/queries count dispatched batches and the queries they
+	// carried; queries/batches is the observed coalescing factor
+	// (reported by /healthz and asserted by tests).
+	batches atomic.Uint64
+	queries atomic.Uint64
+}
+
+type batchReq struct {
+	ids     []int
+	predict bool
+	out     chan batchResp
+}
+
+type batchResp struct {
+	embed *EmbedResult
+	pred  *PredictResult
+	err   error
+}
+
+// newBatcher starts the dispatcher goroutine.
+func newBatcher(eng *Engine, maxBatch int) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &batcher{
+		eng:      eng,
+		maxBatch: maxBatch,
+		reqs:     make(chan *batchReq, 4*maxBatch),
+		done:     make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// close stops the dispatcher (idempotent); callers blocked in submit
+// unblock with errClosed.
+func (b *batcher) close() {
+	b.closing.Do(func() { close(b.done) })
+}
+
+func (b *batcher) loop() {
+	for {
+		select {
+		case <-b.done:
+			return
+		case r := <-b.reqs:
+			batch := append(make([]*batchReq, 0, 8), r)
+			n := len(r.ids)
+		drain:
+			for n < b.maxBatch {
+				select {
+				case r2 := <-b.reqs:
+					batch = append(batch, r2)
+					n += len(r2.ids)
+				default:
+					break drain
+				}
+			}
+			b.run(batch)
+		}
+	}
+}
+
+// Embed answers an embedding query through the micro-batching path.
+func (b *batcher) Embed(ids []int) (*EmbedResult, error) {
+	resp := b.submit(ids, false)
+	return resp.embed, resp.err
+}
+
+// Predict answers a prediction query through the micro-batching path.
+func (b *batcher) Predict(ids []int) (*PredictResult, error) {
+	resp := b.submit(ids, true)
+	return resp.pred, resp.err
+}
+
+func (b *batcher) submit(ids []int, predict bool) batchResp {
+	r := &batchReq{ids: ids, predict: predict, out: make(chan batchResp, 1)}
+	select {
+	case b.reqs <- r:
+	case <-b.done:
+		return batchResp{err: errClosed}
+	}
+	select {
+	case resp := <-r.out:
+		return resp
+	case <-b.done:
+		return batchResp{err: errClosed}
+	}
+}
+
+// run answers one batch against a single snapshot: one validation
+// pass, one row gather for every queried id, and — when any request
+// wants predictions — one head GEMM over the union.
+func (b *batcher) run(batch []*batchReq) {
+	st, err := b.eng.Snapshot()
+	if err != nil {
+		for _, r := range batch {
+			r.out <- batchResp{err: err}
+		}
+		return
+	}
+	// Validate per request; an invalid request fails alone without
+	// poisoning the rest of the batch.
+	live := batch[:0:0]
+	var all []int
+	anyPredict := false
+	for _, r := range batch {
+		if err := checkIDs(st, r.ids); err != nil {
+			r.out <- batchResp{err: err}
+			continue
+		}
+		live = append(live, r)
+		all = append(all, r.ids...)
+		anyPredict = anyPredict || r.predict
+	}
+	b.batches.Add(1)
+	b.queries.Add(uint64(len(batch)))
+	if len(live) == 0 {
+		return
+	}
+
+	h := mat.New(len(all), st.Dim())
+	mat.GatherRows(h, st.Emb, all)
+	var logits *mat.Dense
+	if anyPredict {
+		logits = headLogits(st, h)
+	}
+
+	off := 0
+	for _, r := range live {
+		if r.predict {
+			r.out <- batchResp{pred: predictionsFromLogits(st, r.ids, logits, off)}
+		} else {
+			res := &EmbedResult{
+				Version:      st.Version,
+				ModelVersion: st.ModelVersion,
+				Dim:          st.Dim(),
+				IDs:          r.ids,
+				Vectors:      make([][]float64, len(r.ids)),
+			}
+			for i := range r.ids {
+				v := make([]float64, st.Dim())
+				copy(v, h.Row(off+i))
+				res.Vectors[i] = v
+			}
+			r.out <- batchResp{embed: res}
+		}
+		off += len(r.ids)
+	}
+}
+
+// Stats reports dispatched batch and query counts.
+func (b *batcher) Stats() (batches, queries uint64) {
+	return b.batches.Load(), b.queries.Load()
+}

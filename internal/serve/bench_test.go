@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"testing"
+
+	"gsgcn/internal/datasets"
+)
+
+// BenchmarkServeEmbed measures single-node embedding query
+// throughput through the request layer, batched (micro-batching
+// dispatcher coalescing concurrent queries) vs unbatched (every
+// query dispatched alone). Run with -cpu to vary client concurrency.
+func BenchmarkServeEmbed(b *testing.B) {
+	ds := datasets.Generate(datasets.Config{
+		Name: "serve-bench", Vertices: 2000, TargetEdges: 16000,
+		FeatureDim: 32, NumClasses: 8, Seed: 7,
+	})
+	m := testModel(b, ds, 2, "mean")
+	eng := NewEngine(ds, Options{})
+	if _, err := eng.Install(m); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, maxBatch int) {
+		bat := newBatcher(eng, maxBatch)
+		defer bat.close()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := bat.Embed([]int{i % 2000}); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+		b.StopTimer()
+		batches, queries := bat.Stats()
+		if batches > 0 {
+			b.ReportMetric(float64(queries)/float64(batches), "queries/batch")
+		}
+	}
+	b.Run("unbatched", func(b *testing.B) { run(b, 1) })
+	b.Run("batched", func(b *testing.B) { run(b, 64) })
+}
+
+// BenchmarkFullEmbeddings tracks the cost of one full-graph
+// layer-wise inference pass — the price of a hot reload.
+func BenchmarkFullEmbeddings(b *testing.B) {
+	ds := datasets.Generate(datasets.Config{
+		Name: "serve-bench", Vertices: 2000, TargetEdges: 16000,
+		FeatureDim: 32, NumClasses: 8, Seed: 7,
+	})
+	m := testModel(b, ds, 2, "mean")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FullEmbeddings(m, ds.G, ds.Features, 0, 256)
+	}
+}

@@ -1,0 +1,576 @@
+// Package serve implements the online inference subsystem: the
+// serving half of the paper's pipeline. Training (Algorithms 1/5)
+// samples subgraphs because backpropagation over the full graph is
+// intractable; inference has no such constraint — the exact
+// embeddings the paper evaluates (Section VI) come from one
+// full-graph forward pass. This package computes that pass
+// layer-by-layer over the CSR graph, streaming vertex blocks so peak
+// memory stays O(|V|·f) (two layer activations plus per-worker block
+// scratch), sharded over the shared perf worker pool.
+//
+// The computed embedding table, the model that produced it, and a
+// top-K similarity index form one immutable State published through
+// an atomic pointer: hot reload builds the next State off to the side
+// and swaps it in, so in-flight requests finish against the snapshot
+// they started with and nothing is ever locked on the query path.
+//
+// Determinism: every output row is produced by serial per-row
+// arithmetic in a fixed order (neighbor aggregation in adjacency
+// order, GEMM accumulation in k order — the same orders the training
+// kernels use), and rows are assigned to exactly one vertex block, so
+// the embedding table is bit-identical at every Workers and BlockSize
+// setting and bit-identical to the training-side full-graph forward
+// pass.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"gsgcn/internal/core"
+	"gsgcn/internal/datasets"
+	"gsgcn/internal/graph"
+	"gsgcn/internal/mat"
+	"gsgcn/internal/nn"
+	"gsgcn/internal/perf"
+)
+
+// Options parameterizes an inference engine.
+type Options struct {
+	// Workers is the goroutine budget for embedding computation and
+	// top-K scans (0 = GOMAXPROCS). Results are identical at every
+	// setting.
+	Workers int
+	// BlockSize is the number of vertices per streamed block of the
+	// layer-wise forward pass (0 = 256). Affects scratch memory and
+	// scheduling granularity only, never results.
+	BlockSize int
+	// MaxBatch caps how many queued queries the request layer
+	// coalesces into one gather (0 = 64; 1 disables micro-batching).
+	MaxBatch int
+	// TopKCache bounds the number of memoized top-K query results
+	// (0 = 1024). Entries are keyed by snapshot version, so a model
+	// reload invalidates them wholesale.
+	TopKCache int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = perf.NumWorkers()
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 256
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 64
+	}
+	if o.TopKCache == 0 {
+		o.TopKCache = 1024
+	}
+	return o
+}
+
+// State is one immutable serving snapshot: a model, its full-graph
+// embedding table, and the cosine norms backing the top-K index.
+// States are never mutated after publication — hot reload replaces
+// the whole snapshot atomically.
+type State struct {
+	Model *core.Model
+	// Version is the engine's swap generation (1 for the first loaded
+	// model, incremented per reload). It tags every response and keys
+	// the query caches.
+	Version uint64
+	// ModelVersion is the trained-weights tag carried by the
+	// checkpoint (e.g. optimizer steps at save time).
+	ModelVersion uint64
+	// Emb is the |V| x dim final-layer embedding table.
+	Emb *mat.Dense
+	// norms[v] is ||Emb[v]||₂, precomputed for cosine similarity.
+	norms []float64
+}
+
+// Dim returns the embedding dimensionality.
+func (s *State) Dim() int { return s.Emb.Cols }
+
+// Engine answers embedding, prediction and similarity queries from
+// the latest published State.
+type Engine struct {
+	ds   *datasets.Dataset
+	opts Options
+
+	state atomic.Pointer[State]
+	swaps atomic.Uint64
+
+	reloadMu sync.Mutex // serializes snapshot construction
+
+	cacheMu sync.Mutex
+	cache   map[topkKey]*TopKResult
+}
+
+type topkKey struct {
+	version uint64
+	id, k   int
+}
+
+// NewEngine wires an engine over the dataset's graph and features.
+// No model is loaded yet; queries fail until Install or
+// LoadCheckpoint succeeds.
+func NewEngine(ds *datasets.Dataset, opts Options) *Engine {
+	return &Engine{
+		ds:    ds,
+		opts:  opts.withDefaults(),
+		cache: make(map[topkKey]*TopKResult),
+	}
+}
+
+// Options returns the resolved options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Dataset returns the graph/features the engine serves over.
+func (e *Engine) Dataset() *datasets.Dataset { return e.ds }
+
+// Snapshot returns the current serving state, or an error when no
+// model has been loaded yet.
+func (e *Engine) Snapshot() (*State, error) {
+	st := e.state.Load()
+	if st == nil {
+		return nil, fmt.Errorf("serve: no model loaded")
+	}
+	return st, nil
+}
+
+// Install computes the full-graph embedding table for m and publishes
+// it as the new serving snapshot, returning the new version. In-flight
+// queries keep reading the previous snapshot until they finish. The
+// engine holds a live reference to m: callers must not keep training
+// the installed model — hot reload should Install a fresh model or go
+// through LoadCheckpoint, which reconstructs one from disk.
+func (e *Engine) Install(m *core.Model) (uint64, error) {
+	if got, want := m.Layers[0].InDim, e.ds.FeatureDim(); got != want {
+		return 0, fmt.Errorf("serve: model expects %d input features, dataset has %d", got, want)
+	}
+	if got, want := m.Head.OutDim, e.ds.NumClasses; got != want {
+		return 0, fmt.Errorf("serve: model predicts %d classes, dataset has %d", got, want)
+	}
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	emb := FullEmbeddings(m, e.ds.G, e.ds.Features, e.opts.Workers, e.opts.BlockSize)
+	norms := make([]float64, emb.Rows)
+	perf.ParallelMin(emb.Rows, 64, e.opts.Workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			row := emb.Row(v)
+			norms[v] = math.Sqrt(mat.Dot(row, row))
+		}
+	})
+	st := &State{
+		Model:        m,
+		Version:      e.swaps.Add(1),
+		ModelVersion: m.ModelVersion,
+		Emb:          emb,
+		norms:        norms,
+	}
+	e.state.Store(st)
+	e.dropStaleCache(st.Version)
+	return st.Version, nil
+}
+
+// LoadCheckpoint reconstructs a model from a v2 checkpoint file and
+// installs it. This is the hot-reload entry point.
+func (e *Engine) LoadCheckpoint(path string) (uint64, error) {
+	m, err := core.LoadModelFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return e.Install(m)
+}
+
+// dropStaleCache evicts memoized query results from older snapshots.
+func (e *Engine) dropStaleCache(version uint64) {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	for k := range e.cache {
+		if k.version != version {
+			delete(e.cache, k)
+		}
+	}
+}
+
+// FullEmbeddings runs the model's GCN stack (without the classifier
+// head) over the entire graph and returns the |V| x OutWidth
+// final-layer embedding table. The computation streams one layer at a
+// time in vertex blocks of `block` rows: only the current and next
+// layer activations are held in full, plus per-worker block scratch,
+// so memory stays O(|V|·f). Output is bit-identical at every workers
+// and block setting.
+func FullEmbeddings(m *core.Model, g *graph.CSR, feats *mat.Dense, workers, block int) *mat.Dense {
+	if feats.Rows != g.N {
+		panic("serve: feature rows do not match graph vertices")
+	}
+	if workers < 1 {
+		workers = perf.NumWorkers()
+	}
+	if block < 1 {
+		block = 256
+	}
+	cur := feats
+	for _, l := range m.Layers {
+		next := mat.New(g.N, l.OutWidth())
+		layerForwardBlocks(l, g, cur, next, workers, block)
+		cur = next
+	}
+	return cur
+}
+
+// layerForwardBlocks computes next = GCNLayer(cur) in vertex blocks.
+// Each block of rows is owned by exactly one worker; all arithmetic
+// inside a block is serial and per-row, so block boundaries never
+// change results.
+func layerForwardBlocks(l *nn.GCNLayer, g *graph.CSR, cur, next *mat.Dense, workers, block int) {
+	in, out := l.InDim, l.OutDim
+	var invSqrt []float64
+	if l.Agg == nn.AggSym {
+		invSqrt = make([]float64, g.N)
+		for v := 0; v < g.N; v++ {
+			if d := g.Degree(int32(v)); d > 0 {
+				invSqrt[v] = 1 / math.Sqrt(float64(d))
+			}
+		}
+	}
+	nBlocks := (g.N + block - 1) / block
+	perf.Parallel(nBlocks, workers, func(_, blo, bhi int) {
+		// Per-worker scratch, reused across this worker's blocks.
+		hN := make([]float64, block*in)
+		zS := make([]float64, block*out)
+		zN := make([]float64, block*out)
+		for b := blo; b < bhi; b++ {
+			lo := b * block
+			hi := lo + block
+			if hi > g.N {
+				hi = g.N
+			}
+			rows := hi - lo
+			hNb := mat.FromData(rows, in, hN[:rows*in])
+			aggregateRowRange(hNb, cur, g, l.Agg, invSqrt, lo, hi)
+			hBlock := mat.FromData(rows, in, cur.Data[lo*in:hi*in])
+			zSb := mat.FromData(rows, out, zS[:rows*out])
+			zNb := mat.FromData(rows, out, zN[:rows*out])
+			mat.Mul(zSb, hBlock, l.WSelf.W, 1)
+			mat.Mul(zNb, hNb, l.WNeigh.W, 1)
+			for i := 0; i < rows; i++ {
+				drow := next.Row(lo + i)
+				copy(drow[:out], zSb.Row(i))
+				copy(drow[out:], zNb.Row(i))
+				if l.Activate {
+					// Mirror relu() exactly: keep only x > 0.
+					for j, v := range drow {
+						if !(v > 0) {
+							drow[j] = 0
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// aggregateRowRange fills dst row i with the aggregation of vertex
+// lo+i's neighborhood, mirroring the training-side operators
+// (partition.PropagateRange / nn.symPropagate / nn.sumPropagate)
+// element-for-element: neighbors accumulate in adjacency order and
+// the mean multiplies by 1/deg after summation.
+func aggregateRowRange(dst, src *mat.Dense, g *graph.CSR, agg nn.Aggregator, invSqrt []float64, lo, hi int) {
+	f := src.Cols
+	for v := lo; v < hi; v++ {
+		drow := dst.Row(v - lo)
+		for j := range drow {
+			drow[j] = 0
+		}
+		nb := g.Neighbors(int32(v))
+		if len(nb) == 0 {
+			continue
+		}
+		switch agg {
+		case nn.AggMean:
+			for _, u := range nb {
+				srow := src.Data[int(u)*f : (int(u)+1)*f]
+				for j, x := range srow {
+					drow[j] += x
+				}
+			}
+			inv := 1 / float64(len(nb))
+			for j := range drow {
+				drow[j] *= inv
+			}
+		case nn.AggSym:
+			for _, u := range nb {
+				w := invSqrt[v] * invSqrt[u]
+				srow := src.Data[int(u)*f : (int(u)+1)*f]
+				for j, x := range srow {
+					drow[j] += w * x
+				}
+			}
+		case nn.AggSum:
+			for _, u := range nb {
+				srow := src.Data[int(u)*f : (int(u)+1)*f]
+				for j, x := range srow {
+					drow[j] += x
+				}
+			}
+		}
+	}
+}
+
+// EmbedResult is the answer to an embedding query.
+type EmbedResult struct {
+	Version      uint64      `json:"version"`
+	ModelVersion uint64      `json:"model_version"`
+	Dim          int         `json:"dim"`
+	IDs          []int       `json:"ids"`
+	Vectors      [][]float64 `json:"embeddings"`
+}
+
+// PredictResult is the answer to a prediction query.
+type PredictResult struct {
+	Version      uint64      `json:"version"`
+	ModelVersion uint64      `json:"model_version"`
+	Classes      int         `json:"classes"`
+	MultiLabel   bool        `json:"multi_label"`
+	IDs          []int       `json:"ids"`
+	Labels       [][]int     `json:"labels"`
+	Probs        [][]float64 `json:"probs"`
+}
+
+// Neighbor is one entry of a top-K similarity answer.
+type Neighbor struct {
+	ID    int     `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// TopKResult is the answer to a similar-nodes query.
+type TopKResult struct {
+	Version      uint64     `json:"version"`
+	ModelVersion uint64     `json:"model_version"`
+	ID           int        `json:"id"`
+	K            int        `json:"k"`
+	Neighbors    []Neighbor `json:"neighbors"`
+}
+
+// checkIDs validates query vertex ids against the snapshot.
+func checkIDs(st *State, ids []int) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("serve: no ids given")
+	}
+	for _, id := range ids {
+		if id < 0 || id >= st.Emb.Rows {
+			return fmt.Errorf("serve: vertex id %d out of range [0,%d)", id, st.Emb.Rows)
+		}
+	}
+	return nil
+}
+
+// embedOn answers an embedding query against a fixed snapshot.
+func embedOn(st *State, ids []int) (*EmbedResult, error) {
+	if err := checkIDs(st, ids); err != nil {
+		return nil, err
+	}
+	res := &EmbedResult{
+		Version:      st.Version,
+		ModelVersion: st.ModelVersion,
+		Dim:          st.Dim(),
+		IDs:          ids,
+		Vectors:      make([][]float64, len(ids)),
+	}
+	for i, id := range ids {
+		v := make([]float64, st.Dim())
+		copy(v, st.Emb.Row(id))
+		res.Vectors[i] = v
+	}
+	return res, nil
+}
+
+// headLogits computes the classifier head over gathered embedding
+// rows: logits = h·W + b, the same per-row arithmetic as the
+// training-side nn.Dense forward pass.
+func headLogits(st *State, h *mat.Dense) *mat.Dense {
+	head := st.Model.Head
+	out := mat.New(h.Rows, head.OutDim)
+	mat.Mul(out, h, head.W.W, 1)
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += head.B.W.Data[j]
+		}
+	}
+	return out
+}
+
+// predictOn answers a prediction query against a fixed snapshot.
+func predictOn(st *State, ids []int) (*PredictResult, error) {
+	if err := checkIDs(st, ids); err != nil {
+		return nil, err
+	}
+	h := mat.New(len(ids), st.Dim())
+	mat.GatherRows(h, st.Emb, ids)
+	logits := headLogits(st, h)
+	return predictionsFromLogits(st, ids, logits, 0), nil
+}
+
+// predictionsFromLogits converts logits rows [off, off+len(ids)) into
+// a PredictResult: thresholded labels plus calibrated probabilities
+// (sigmoid per class when multi-label, softmax otherwise).
+func predictionsFromLogits(st *State, ids []int, logits *mat.Dense, off int) *PredictResult {
+	multi := st.Model.Loss.Name() == "sigmoid-bce"
+	k := logits.Cols
+	res := &PredictResult{
+		Version:      st.Version,
+		ModelVersion: st.ModelVersion,
+		Classes:      k,
+		MultiLabel:   multi,
+		IDs:          ids,
+		Labels:       make([][]int, len(ids)),
+		Probs:        make([][]float64, len(ids)),
+	}
+	for i := range ids {
+		zrow := logits.Row(off + i)
+		probs := make([]float64, k)
+		labels := make([]int, 0, 1) // non-nil: an empty label set serializes as []
+		if multi {
+			// Mirrors nn.PredictMulti: class on iff logit > 0.
+			for j, z := range zrow {
+				probs[j] = 1 / (1 + math.Exp(-z))
+				if z > 0 {
+					labels = append(labels, j)
+				}
+			}
+		} else {
+			// Mirrors nn.PredictSingle: argmax class, stable softmax.
+			best := 0
+			maxZ := zrow[0]
+			for j, z := range zrow {
+				if z > maxZ {
+					maxZ = z
+				}
+				if z > zrow[best] {
+					best = j
+				}
+			}
+			sum := 0.0
+			for j, z := range zrow {
+				probs[j] = math.Exp(z - maxZ)
+				sum += probs[j]
+			}
+			for j := range probs {
+				probs[j] /= sum
+			}
+			labels = []int{best}
+		}
+		res.Probs[i] = probs
+		res.Labels[i] = labels
+	}
+	return res
+}
+
+// Embed answers an embedding query against the latest snapshot.
+func (e *Engine) Embed(ids []int) (*EmbedResult, error) {
+	st, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return embedOn(st, ids)
+}
+
+// Predict answers a prediction query against the latest snapshot.
+func (e *Engine) Predict(ids []int) (*PredictResult, error) {
+	st, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return predictOn(st, ids)
+}
+
+// TopK returns the k vertices most cosine-similar to id (excluding id
+// itself), ranked by descending score with ties broken by ascending
+// id. The scan shards over the worker pool; per-shard candidates
+// accumulate in bounded skiplists that merge in shard order, so the
+// answer is deterministic at every Workers setting. Results are
+// memoized per (snapshot version, id, k).
+func (e *Engine) TopK(id, k int) (*TopKResult, error) {
+	st, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkIDs(st, []int{id}); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("serve: k must be >= 1, got %d", k)
+	}
+	if max := st.Emb.Rows - 1; k > max {
+		k = max
+	}
+	key := topkKey{version: st.Version, id: id, k: k}
+	e.cacheMu.Lock()
+	if hit, ok := e.cache[key]; ok {
+		e.cacheMu.Unlock()
+		return hit, nil
+	}
+	e.cacheMu.Unlock()
+
+	res := topkScan(st, id, k, e.opts.Workers)
+
+	e.cacheMu.Lock()
+	if len(e.cache) < e.opts.TopKCache {
+		e.cache[key] = res
+	}
+	e.cacheMu.Unlock()
+	return res, nil
+}
+
+// topkScan computes the exact top-K cosine neighbors of id.
+func topkScan(st *State, id, k, workers int) *TopKResult {
+	n := st.Emb.Rows
+	qrow := st.Emb.Row(id)
+	qn := st.norms[id]
+	// One bounded skiplist per contiguous vertex shard.
+	shards := workers
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	lists := make([]*topKList, shards)
+	perf.Parallel(shards, workers, func(_, slo, shi int) {
+		for s := slo; s < shi; s++ {
+			lo := s * n / shards
+			hi := (s + 1) * n / shards
+			tk := newTopKList(k)
+			for v := lo; v < hi; v++ {
+				if v == id {
+					continue
+				}
+				score := 0.0
+				if d := qn * st.norms[v]; d > 0 {
+					score = mat.Dot(qrow, st.Emb.Row(v)) / d
+				}
+				tk.Offer(int32(v), score)
+			}
+			lists[s] = tk
+		}
+	})
+	final := newTopKList(k)
+	for _, tk := range lists {
+		for x := tk.front(); x != nil; x = x.next[0] {
+			final.Offer(x.id, x.score)
+		}
+	}
+	return &TopKResult{
+		Version:      st.Version,
+		ModelVersion: st.ModelVersion,
+		ID:           id,
+		K:            k,
+		Neighbors:    final.items(),
+	}
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gsgcn/internal/datasets"
+)
+
+// errMethod marks requests using an unsupported HTTP method.
+var errMethod = errors.New("serve: method not allowed")
+
+// maxQueryIDs bounds one request's id list; larger lookups should
+// page. It protects the micro-batcher from one request monopolizing
+// a batch.
+const maxQueryIDs = 4096
+
+// Server is the HTTP/JSON request layer over an inference Engine.
+//
+// Endpoints:
+//
+//	GET|POST /embed    ?ids=0,1,2     → embedding vectors
+//	GET|POST /predict  ?ids=0,1,2     → class labels + probabilities
+//	GET      /topk     ?id=7&k=10     → most cosine-similar vertices
+//	GET      /healthz                 → liveness + serving stats
+//	POST     /reload   {"path": "…"}  → hot-swap a new checkpoint
+//
+// POST bodies are JSON ({"ids":[…]}). Point queries arriving
+// concurrently are coalesced by the micro-batcher; every response
+// carries the snapshot version it was answered from.
+type Server struct {
+	eng *Engine
+	bat *batcher
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	ckptPath string
+}
+
+// NewServer builds a server over ds. No checkpoint is loaded yet;
+// call Load (or POST /reload with a path) before serving queries.
+func NewServer(ds *datasets.Dataset, opts Options) *Server {
+	eng := NewEngine(ds, opts)
+	s := &Server{eng: eng, bat: newBatcher(eng, eng.opts.MaxBatch)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/embed", s.handleEmbed)
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/reload", s.handleReload)
+	s.mux = mux
+	return s
+}
+
+// Engine exposes the underlying inference engine.
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Load installs the checkpoint at path and remembers it as the
+// default for subsequent Reload calls.
+func (s *Server) Load(path string) (uint64, error) {
+	v, err := s.eng.LoadCheckpoint(path)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.ckptPath = path
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Reload re-reads the last loaded checkpoint path and swaps the new
+// snapshot in without interrupting in-flight requests.
+func (s *Server) Reload() (uint64, error) {
+	s.mu.Lock()
+	path := s.ckptPath
+	s.mu.Unlock()
+	if path == "" {
+		return 0, fmt.Errorf("serve: no checkpoint path to reload")
+	}
+	return s.eng.LoadCheckpoint(path)
+}
+
+// Close stops the micro-batch dispatcher.
+func (s *Server) Close() { s.bat.close() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// statusFor maps engine errors onto HTTP statuses: server-side
+// conditions (no model loaded yet, server closing) are 503 so
+// retry policies keyed on 4xx-vs-5xx treat them as retryable,
+// unsupported methods are 405, and everything else surfaced here is
+// a caller mistake.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, errClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errMethod):
+		return http.StatusMethodNotAllowed
+	case strings.Contains(err.Error(), "no model loaded"):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+}
+
+// parseIDs extracts the queried vertex ids from ?ids=… or a JSON
+// body {"ids":[…]}.
+func parseIDs(r *http.Request) ([]int, error) {
+	var ids []int
+	switch r.Method {
+	case http.MethodGet:
+		raw := r.URL.Query().Get("ids")
+		if raw == "" {
+			return nil, fmt.Errorf("serve: missing ids parameter")
+		}
+		for _, tok := range strings.Split(raw, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return nil, fmt.Errorf("serve: bad id %q", tok)
+			}
+			ids = append(ids, id)
+		}
+	case http.MethodPost:
+		var body struct {
+			IDs []int `json:"ids"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			return nil, fmt.Errorf("serve: bad JSON body: %w", err)
+		}
+		ids = body.IDs
+	default:
+		return nil, fmt.Errorf("%w: %s", errMethod, r.Method)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("serve: no ids given")
+	}
+	if len(ids) > maxQueryIDs {
+		return nil, fmt.Errorf("serve: %d ids exceeds the per-request limit of %d", len(ids), maxQueryIDs)
+	}
+	return ids, nil
+}
+
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	ids, err := parseIDs(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.bat.Embed(ids)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	ids, err := parseIDs(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.bat.Predict(ids)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	id, err := strconv.Atoi(q.Get("id"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("serve: bad or missing id parameter"))
+		return
+	}
+	k := 10
+	if raw := q.Get("k"); raw != "" {
+		if k, err = strconv.Atoi(raw); err != nil {
+			writeErr(w, fmt.Errorf("serve: bad k parameter %q", raw))
+			return
+		}
+	}
+	res, err := s.eng.TopK(id, k)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type healthBody struct {
+	Status       string  `json:"status"`
+	Version      uint64  `json:"version"`
+	ModelVersion uint64  `json:"model_version"`
+	Vertices     int     `json:"vertices"`
+	Edges        int64   `json:"edges"`
+	Dim          int     `json:"dim"`
+	Classes      int     `json:"classes"`
+	Batches      uint64  `json:"batches"`
+	Queries      uint64  `json:"queries"`
+	Coalescing   float64 `json:"coalescing"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := healthBody{
+		Status:   "loading",
+		Vertices: s.eng.ds.G.NumVertices(),
+		Edges:    s.eng.ds.G.NumEdges(),
+		Classes:  s.eng.ds.NumClasses,
+	}
+	if st, err := s.eng.Snapshot(); err == nil {
+		body.Status = "ok"
+		body.Version = st.Version
+		body.ModelVersion = st.ModelVersion
+		body.Dim = st.Dim()
+	}
+	body.Batches, body.Queries = s.bat.Stats()
+	if body.Batches > 0 {
+		body.Coalescing = float64(body.Queries) / float64(body.Batches)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "serve: reload requires POST"})
+		return
+	}
+	var body struct {
+		Path string `json:"path"`
+	}
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, fmt.Errorf("serve: bad JSON body: %w", err))
+			return
+		}
+	}
+	var (
+		v   uint64
+		err error
+	)
+	if body.Path != "" {
+		v, err = s.Load(body.Path)
+	} else {
+		v, err = s.Reload()
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	st, _ := s.eng.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]uint64{
+		"version":       v,
+		"model_version": st.ModelVersion,
+	})
+}

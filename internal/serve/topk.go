@@ -1,0 +1,153 @@
+package serve
+
+// topKList is a bounded skiplist holding the K best (score, id)
+// pairs seen so far, ordered by descending score with ties broken by
+// ascending id — the ordered in-memory index idiom of redis-style
+// zskiplists, sized to the paper's serving workload (K is small, the
+// candidate stream is |V| long, and most candidates are rejected by
+// one comparison against the current tail).
+//
+// Levels are drawn from a private LCG (p = 1/4), so a list built
+// from a given offer sequence has a deterministic shape and the
+// structure is safe to build inside sharded scans without any global
+// randomness source.
+
+const tkMaxLevel = 12
+
+type tkNode struct {
+	id    int32
+	score float64
+	next  []*tkNode
+}
+
+type topKList struct {
+	k      int
+	head   *tkNode
+	tail   *tkNode
+	length int
+	level  int
+	seed   uint64
+}
+
+// newTopKList returns an empty list bounded to the k best entries.
+func newTopKList(k int) *topKList {
+	return &topKList{
+		k:     k,
+		head:  &tkNode{next: make([]*tkNode, tkMaxLevel)},
+		level: 1,
+		seed:  0x9E3779B97F4A7C15,
+	}
+}
+
+// tkBefore reports whether (s1, id1) ranks strictly ahead of
+// (s2, id2): higher score first, lower id on ties. It is a total
+// order for distinct ids, which is what makes sharded scans merge
+// deterministically.
+func tkBefore(s1 float64, id1 int32, s2 float64, id2 int32) bool {
+	if s1 != s2 {
+		return s1 > s2
+	}
+	return id1 < id2
+}
+
+// randLevel draws a node height with P(level >= l+1 | level >= l) = 1/4.
+func (t *topKList) randLevel() int {
+	lvl := 1
+	for lvl < tkMaxLevel {
+		t.seed = t.seed*6364136223846793005 + 1442695040888963407
+		if (t.seed>>33)&3 != 0 {
+			break
+		}
+		lvl++
+	}
+	return lvl
+}
+
+// Len returns the number of held entries.
+func (t *topKList) Len() int { return t.length }
+
+// front returns the best-ranked node (nil when empty).
+func (t *topKList) front() *tkNode { return t.head.next[0] }
+
+// Offer considers (id, score) for membership: when the list is full
+// and the candidate does not beat the current worst entry it is
+// rejected with a single comparison; otherwise it is inserted and the
+// worst entry evicted. ids must be unique across the offer stream.
+func (t *topKList) Offer(id int32, score float64) {
+	if t.k <= 0 {
+		return
+	}
+	if t.length == t.k {
+		w := t.tail
+		if !tkBefore(score, id, w.score, w.id) {
+			return
+		}
+		t.remove(w)
+	}
+	t.insert(id, score)
+}
+
+// insert links a new node at its ranked position.
+func (t *topKList) insert(id int32, score float64) {
+	var update [tkMaxLevel]*tkNode
+	x := t.head
+	for i := t.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && tkBefore(x.next[i].score, x.next[i].id, score, id) {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	lvl := t.randLevel()
+	if lvl > t.level {
+		for i := t.level; i < lvl; i++ {
+			update[i] = t.head
+		}
+		t.level = lvl
+	}
+	n := &tkNode{id: id, score: score, next: make([]*tkNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	if n.next[0] == nil {
+		t.tail = n
+	}
+	t.length++
+}
+
+// remove unlinks node w (which must be a member).
+func (t *topKList) remove(w *tkNode) {
+	var update [tkMaxLevel]*tkNode
+	x := t.head
+	for i := t.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && tkBefore(x.next[i].score, x.next[i].id, w.score, w.id) {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	for i := 0; i < t.level; i++ {
+		if update[i].next[i] == w {
+			update[i].next[i] = w.next[i]
+		}
+	}
+	for t.level > 1 && t.head.next[t.level-1] == nil {
+		t.level--
+	}
+	if t.tail == w {
+		if update[0] == t.head {
+			t.tail = nil
+		} else {
+			t.tail = update[0]
+		}
+	}
+	t.length--
+}
+
+// items returns the ranked contents, best first.
+func (t *topKList) items() []Neighbor {
+	out := make([]Neighbor, 0, t.length)
+	for x := t.front(); x != nil; x = x.next[0] {
+		out = append(out, Neighbor{ID: int(x.id), Score: x.score})
+	}
+	return out
+}

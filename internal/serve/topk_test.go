@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"sort"
+	"testing"
+
+	"gsgcn/internal/rng"
+)
+
+// refTopK mirrors topKList semantics with a plain sort.
+func refTopK(items []Neighbor, k int) []Neighbor {
+	s := append([]Neighbor(nil), items...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return s[i].ID < s[j].ID
+	})
+	if k > len(s) {
+		k = len(s)
+	}
+	return s[:k]
+}
+
+func TestTopKListRandomStreams(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(400)
+		k := 1 + r.Intn(20)
+		items := make([]Neighbor, n)
+		for i := range items {
+			// Coarse scores force plenty of ties to exercise the
+			// id tiebreak.
+			items[i] = Neighbor{ID: i, Score: float64(r.Intn(10)) / 10}
+		}
+		tk := newTopKList(k)
+		for _, it := range items {
+			tk.Offer(int32(it.ID), it.Score)
+		}
+		got := tk.items()
+		want := refTopK(items, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: got %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+		if tk.Len() != len(want) {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, tk.Len(), len(want))
+		}
+	}
+}
+
+func TestTopKListBounds(t *testing.T) {
+	tk := newTopKList(3)
+	for i := 0; i < 100; i++ {
+		tk.Offer(int32(i), float64(i))
+	}
+	got := tk.items()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []int{99, 98, 97} {
+		if got[i].ID != want {
+			t.Errorf("rank %d = %d, want %d", i, got[i].ID, want)
+		}
+	}
+	// Degenerate capacities.
+	zero := newTopKList(0)
+	zero.Offer(1, 1)
+	if zero.Len() != 0 {
+		t.Error("k=0 list accepted an entry")
+	}
+	one := newTopKList(1)
+	one.Offer(5, 0.5)
+	one.Offer(6, 0.9)
+	one.Offer(7, 0.1)
+	if items := one.items(); len(items) != 1 || items[0].ID != 6 {
+		t.Errorf("k=1 list = %+v, want [{6 0.9}]", one.items())
+	}
+}
+
+// TestTopKListAscendingDescending exercises tail eviction from both
+// directions: strictly improving offers evict on every insert,
+// strictly worsening offers reject on every insert.
+func TestTopKListAscendingDescending(t *testing.T) {
+	up := newTopKList(5)
+	for i := 0; i < 50; i++ {
+		up.Offer(int32(i), float64(i))
+	}
+	if items := up.items(); items[0].ID != 49 || items[4].ID != 45 {
+		t.Errorf("ascending stream: %+v", items)
+	}
+	down := newTopKList(5)
+	for i := 0; i < 50; i++ {
+		down.Offer(int32(i), float64(-i))
+	}
+	if items := down.items(); items[0].ID != 0 || items[4].ID != 4 {
+		t.Errorf("descending stream: %+v", items)
+	}
+}

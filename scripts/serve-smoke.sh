@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end check of the serving pipeline —
+# datagen → short train → save checkpoint → launch gsgcn-serve →
+# curl /embed and /predict → assert HTTP 200 and sane shapes.
+# Binaries are expected in ./bin (built by `make serve-smoke`).
+set -euo pipefail
+
+BIN=${BIN:-./bin}
+PORT=${PORT:-18473}
+TMP=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== datagen"
+"$BIN/gsgcn-datagen" -dataset ppi -scale 0.02 -out "$TMP/g.gsg" -stats=false
+
+echo "== train (2 epochs)"
+"$BIN/gsgcn-train" -data "$TMP/g.gsg" -epochs 2 -hidden 16 -save "$TMP/m.ckpt" >/dev/null
+
+echo "== serve"
+"$BIN/gsgcn-serve" -data "$TMP/g.gsg" -load "$TMP/m.ckpt" -addr "127.0.0.1:$PORT" &
+SERVER_PID=$!
+
+base="http://127.0.0.1:$PORT"
+for i in $(seq 1 50); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "serve-smoke: server exited early" >&2; exit 1
+    fi
+    sleep 0.2
+done
+
+check() {
+    local path=$1 field=$2
+    local out code
+    out=$(curl -s -w '\n%{http_code}' "$base$path")
+    code=${out##*$'\n'}
+    body=${out%$'\n'*}
+    if [ "$code" != 200 ]; then
+        echo "serve-smoke: GET $path returned $code: $body" >&2; exit 1
+    fi
+    if ! printf '%s' "$body" | grep -q "\"$field\""; then
+        echo "serve-smoke: GET $path response lacks \"$field\": $body" >&2; exit 1
+    fi
+}
+
+echo "== query"
+check "/healthz" "model_version"
+check "/embed?ids=0,1" "embeddings"
+check "/predict?ids=0,1" "labels"
+check "/topk?id=0&k=3" "neighbors"
+
+# Shape sanity: two embedding vectors for two ids.
+vectors=$(curl -s "$base/embed?ids=0,1" | grep -o '\[\[' | wc -l)
+if [ "$vectors" -lt 1 ]; then
+    echo "serve-smoke: /embed returned no vector array" >&2; exit 1
+fi
+
+echo "serve-smoke: OK"
