@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench serve-smoke
+.PHONY: ci vet build test race cover bench serve-smoke
 
-ci: vet build race bench serve-smoke
+ci: vet build race cover bench serve-smoke
 
 # ./... covers every package, including internal/serve.
 vet:
@@ -21,9 +21,20 @@ test:
 
 # -p 1 serializes packages: the perf package asserts on real
 # wall-clock shard measurements, which cross-package contention on
-# small CI hosts would otherwise skew.
+# small CI hosts would otherwise skew. -shuffle=on randomizes test
+# order so determinism contracts (bit-identical ANN/topk results
+# across Workers settings and rebuilds) cannot hide behind incidental
+# execution order.
 race:
-	$(GO) test -race -p 1 ./...
+	$(GO) test -race -shuffle=on -p 1 ./...
+
+# Coverage summary, printed in `make ci` logs. The profile is left in
+# coverage.out for `go tool cover -html` drill-downs. -p 1 for the
+# same reason as race: the perf package's wall-clock assertions must
+# not share the host with other packages' test binaries.
+cover:
+	$(GO) test -p 1 -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | tail -n 1
 
 # One iteration per Epoch benchmark: prints ns/op for Workers=1 vs
 # parallel so the speedup of the goroutine-parallel engine is visible

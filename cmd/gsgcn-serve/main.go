@@ -7,6 +7,7 @@
 //	GET  /embed?ids=0,1,2     embedding vectors
 //	GET  /predict?ids=0,1,2   class labels + probabilities
 //	GET  /topk?id=7&k=10      most cosine-similar vertices
+//	     &mode=exact|ann&ef=64   exact scan vs HNSW beam search
 //	GET  /healthz             liveness + serving stats
 //	POST /reload              hot-swap a new checkpoint
 //
@@ -44,6 +45,9 @@ func main() {
 		workers = flag.Int("workers", 0, "goroutines for embedding computation and top-K scans (0 = GOMAXPROCS)")
 		block   = flag.Int("block", 0, "vertices per streamed inference block (0 = 256)")
 		batch   = flag.Int("batch", 0, "max queries coalesced per micro-batch (0 = 64, 1 = off)")
+		annOn   = flag.Bool("ann", false, "answer /topk with the approximate HNSW index by default (per-request mode=exact|ann overrides)")
+		annM    = flag.Int("ann-m", 0, "HNSW connectivity: links per vertex per layer, 2x on the base layer (0 = 16)")
+		annEf   = flag.Int("ann-ef", 0, "default HNSW query beam width; higher = better recall, slower (0 = 64)")
 	)
 	flag.Parse()
 	if *load == "" {
@@ -69,6 +73,7 @@ func main() {
 
 	srv := gsgcn.NewInferenceServer(ds, gsgcn.ServeOptions{
 		Workers: *workers, BlockSize: *block, MaxBatch: *batch,
+		ANN: *annOn, ANNM: *annM, ANNEf: *annEf,
 	})
 	defer srv.Close()
 	start := time.Now()

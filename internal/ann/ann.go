@@ -1,0 +1,509 @@
+// Package ann provides an HNSW-style approximate nearest-neighbor
+// index over dense embedding tables — the sub-linear answer to the
+// serving path's top-K similarity queries, which would otherwise scan
+// all |V| vertices per query (the one remaining linear-in-graph-size
+// hot path at Table-I scale).
+//
+// The index is deterministic by construction, extending the repo-wide
+// determinism contract (bit-identical results at every Workers
+// setting) from training and exact serving into the approximate
+// world:
+//
+//   - Layer heights are a pure function of (seed, vertex id), drawn
+//     from a private LCG with P(level >= l+1 | level >= l) = 1/4 —
+//     the same generator idiom as the serving skiplist's randLevel —
+//     so the level assignment never depends on insertion order or
+//     scheduling.
+//   - Construction is wave-parallel: vertices are inserted in id
+//     order in fixed-size waves. Within a wave every vertex searches
+//     the frozen pre-wave graph for its candidate neighbors in
+//     parallel (the distance-heavy part), then links are committed
+//     serially in id order. The wave size is a constant, never a
+//     function of the worker count, so the decomposition — and hence
+//     the final link structure — is identical at every Workers
+//     setting.
+//   - Every comparison of two scored vertices goes through Before, a
+//     total order (higher score first, lower id on ties), so heap
+//     pops, neighbor selection and result ranking admit no
+//     tie-breaking ambiguity.
+//
+// Similarity is cosine (higher is closer), computed exactly as the
+// serving layer's exact scanner computes it, so an ANN result list is
+// comparable element-for-element with the exact one.
+package ann
+
+import (
+	"math"
+	"sort"
+
+	"gsgcn/internal/mat"
+	"gsgcn/internal/perf"
+)
+
+// maxLevel caps layer heights; with p = 1/4 the expected top level of
+// even a billion-vertex index is ~15.
+const maxLevel = 16
+
+// buildWave is the number of vertices inserted per construction wave.
+// It is a constant — never derived from the worker count — because the
+// wave decomposition determines which graph snapshot each vertex
+// searches, and therefore the final link structure. Within a wave,
+// committed wave-mates are offered to later members by brute force, so
+// small graphs degrade gracefully toward sequential insertion quality.
+const buildWave = 64
+
+// Params configures index construction and the default query effort.
+type Params struct {
+	// M is the connectivity: each vertex keeps up to M links per
+	// upper layer and 2M on the base layer (0 = 16).
+	M int
+	// EfConstruction is the candidate-beam width used while building
+	// (0 = 128). Larger values build better graphs, slower.
+	EfConstruction int
+	// EfSearch is the default query-time beam width (0 = 64). Queries
+	// may override it per call; recall rises with ef at the cost of
+	// visiting more candidates.
+	EfSearch int
+	// Seed drives the layer-height LCG. Two indexes built over the
+	// same table with the same Params are identical structures.
+	Seed uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.M <= 0 {
+		p.M = 16
+	}
+	if p.EfConstruction <= 0 {
+		p.EfConstruction = 128
+	}
+	if p.EfSearch <= 0 {
+		p.EfSearch = 64
+	}
+	if p.Seed == 0 {
+		p.Seed = 0x9E3779B97F4A7C15
+	}
+	return p
+}
+
+// Candidate is one scored vertex of a search answer.
+type Candidate struct {
+	ID    int32
+	Score float64
+}
+
+// Before reports whether (s1, id1) ranks strictly ahead of (s2, id2):
+// higher score first, lower id on ties. It is a total order for
+// distinct ids — the property that makes every heap pop and neighbor
+// selection in this package unambiguous, and ANN result lists
+// mergeable with the exact scanner's.
+func Before(s1 float64, id1 int32, s2 float64, id2 int32) bool {
+	if s1 != s2 {
+		return s1 > s2
+	}
+	return id1 < id2
+}
+
+// node is one indexed vertex: its layer height and, per layer
+// 0..level, its out-links.
+type node struct {
+	level int32
+	links [][]int32
+}
+
+// Index is an immutable-after-Build HNSW graph over an embedding
+// table. Queries are read-only and safe for concurrent use.
+type Index struct {
+	params Params
+	emb    *mat.Dense
+	norms  []float64
+
+	nodes []node
+	entry int32 // highest-level vertex, lowest id on ties (-1 when empty)
+
+	// distComps counts similarity evaluations during Build — exposed
+	// through Stats for the recall/cost harness.
+	buildDistComps uint64
+}
+
+// Stats reports structural facts about a built index.
+type Stats struct {
+	N              int
+	MaxLevel       int
+	Entry          int32
+	Links          int // total directed links over all layers
+	BuildDistComps uint64
+}
+
+// Stats summarizes the index structure.
+func (ix *Index) Stats() Stats {
+	s := Stats{N: len(ix.nodes), Entry: ix.entry, BuildDistComps: ix.buildDistComps}
+	for _, nd := range ix.nodes {
+		if int(nd.level) > s.MaxLevel {
+			s.MaxLevel = int(nd.level)
+		}
+		for _, ls := range nd.links {
+			s.Links += len(ls)
+		}
+	}
+	return s
+}
+
+// Params returns the resolved construction parameters.
+func (ix *Index) Params() Params { return ix.params }
+
+// Len returns the number of indexed vertices.
+func (ix *Index) Len() int { return len(ix.nodes) }
+
+// levelFor draws vertex id's layer height from the seeded LCG: a pure
+// function of (seed, id), so index shape is independent of insertion
+// order, wave decomposition and worker count.
+func levelFor(seed uint64, id int32) int32 {
+	x := seed + uint64(id)*0x9E3779B97F4A7C15
+	lvl := int32(0)
+	for lvl < maxLevel-1 {
+		x = x*6364136223846793005 + 1442695040888963407
+		if (x>>33)&3 != 0 {
+			break
+		}
+		lvl++
+	}
+	return lvl
+}
+
+// sim returns the cosine similarity between query (with norm qn) and
+// indexed vertex v — the same arithmetic as the exact serving scanner:
+// zero when either norm is zero.
+func (ix *Index) sim(q []float64, qn float64, v int32) float64 {
+	if d := qn * ix.norms[v]; d > 0 {
+		return mat.Dot(q, ix.emb.Row(int(v))) / d
+	}
+	return 0
+}
+
+// Build constructs the index over emb. norms[v] must be ||emb[v]||₂
+// (pass nil to have Build compute them). workers bounds the goroutine
+// budget for the distance-heavy candidate searches (<= 0 uses the
+// shared pool default); the resulting structure is bit-identical at
+// every setting.
+func Build(emb *mat.Dense, norms []float64, p Params, workers int) *Index {
+	p = p.withDefaults()
+	n := emb.Rows
+	if workers < 1 {
+		workers = perf.NumWorkers()
+	}
+	if norms == nil {
+		norms = make([]float64, n)
+		perf.ParallelMin(n, 64, workers, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				row := emb.Row(v)
+				norms[v] = math.Sqrt(mat.Dot(row, row))
+			}
+		})
+	}
+	ix := &Index{params: p, emb: emb, norms: norms, entry: -1, nodes: make([]node, n)}
+	for v := 0; v < n; v++ {
+		lvl := levelFor(p.Seed, int32(v))
+		ix.nodes[v] = node{level: lvl, links: make([][]int32, lvl+1)}
+	}
+
+	// Per-wave scratch: candidate lists found against the frozen
+	// pre-wave graph, one slot per wave member.
+	cands := make([][][]Candidate, buildWave)
+	var dist uint64
+	for lo := 0; lo < n; lo += buildWave {
+		hi := lo + buildWave
+		if hi > n {
+			hi = n
+		}
+		// Parallel phase: search the frozen graph. Each wave member's
+		// candidate lists depend only on the pre-wave structure, so
+		// scheduling cannot influence them.
+		counts := make([]uint64, hi-lo)
+		perf.Parallel(hi-lo, workers, func(_, wlo, whi int) {
+			for w := wlo; w < whi; w++ {
+				v := int32(lo + w)
+				cands[w], counts[w] = ix.buildCandidates(v)
+			}
+		})
+		for _, c := range counts {
+			dist += c
+		}
+		// Serial phase: commit links in id order. Brute-force offers
+		// from already-committed wave-mates patch in the connectivity
+		// the frozen search could not see.
+		for w := 0; lo+w < hi; w++ {
+			dist += ix.commit(int32(lo+w), int32(lo), cands[w])
+		}
+	}
+	ix.buildDistComps = dist
+	return ix
+}
+
+// buildCandidates runs the insertion-time search for vertex v against
+// the current (frozen) graph: greedy descent above v's level, then an
+// EfConstruction-wide beam at each level v occupies. Levels above the
+// current entry's level yield empty lists. Returns the per-level
+// candidate lists (index = level) and the number of similarity
+// evaluations spent.
+func (ix *Index) buildCandidates(v int32) ([][]Candidate, uint64) {
+	lvl := ix.nodes[v].level
+	out := make([][]Candidate, lvl+1)
+	if ix.entry < 0 {
+		return out, 0
+	}
+	q := ix.emb.Row(int(v))
+	qn := ix.norms[v]
+	var dist uint64
+	ep := ix.entry
+	epSim := ix.sim(q, qn, ep)
+	dist++
+	for l := ix.nodes[ep].level; l > lvl; l-- {
+		var d uint64
+		ep, epSim, d = ix.greedyAt(q, qn, ep, epSim, l)
+		dist += d
+	}
+	visited := make([]uint64, (len(ix.nodes)+63)/64)
+	top := lvl
+	if el := ix.nodes[ix.entry].level; el < top {
+		top = el
+	}
+	for l := top; l >= 0; l-- {
+		res, d := ix.searchLayer(q, qn, ep, epSim, l, ix.params.EfConstruction, -1, visited)
+		dist += d
+		out[l] = res
+		if len(res) > 0 {
+			ep, epSim = res[0].ID, res[0].Score
+		}
+		// Reset the visited set between layers: each layer's beam is
+		// an independent search (links differ per layer).
+		for i := range visited {
+			visited[i] = 0
+		}
+	}
+	return out, dist
+}
+
+// commit links vertex v into the graph: merge brute-force offers from
+// committed wave-mates (ids in [waveLo, v)) into the frozen-graph
+// candidates, select neighbors per level, and add the reverse links,
+// pruning any over-full list. Serial, in id order. Returns similarity
+// evaluations spent.
+func (ix *Index) commit(v, waveLo int32, cands [][]Candidate) uint64 {
+	if ix.entry < 0 {
+		ix.entry = v
+		return 0
+	}
+	q := ix.emb.Row(int(v))
+	qn := ix.norms[v]
+	lvl := ix.nodes[v].level
+	var dist uint64
+	// Wave-mate patch: candidates the frozen search could not see.
+	for u := waveLo; u < v; u++ {
+		s := ix.sim(q, qn, u)
+		dist++
+		top := lvl
+		if ul := ix.nodes[u].level; ul < top {
+			top = ul
+		}
+		for l := int32(0); l <= top; l++ {
+			cands[l] = append(cands[l], Candidate{ID: u, Score: s})
+		}
+	}
+	for l := int32(0); l <= lvl; l++ {
+		cs := cands[l]
+		sort.Slice(cs, func(i, j int) bool {
+			return Before(cs[i].Score, cs[i].ID, cs[j].Score, cs[j].ID)
+		})
+		sel, d := ix.selectNeighbors(cs, ix.params.M)
+		dist += d
+		ix.nodes[v].links[l] = sel
+		capL := ix.capAt(l)
+		for _, u := range sel {
+			ul := append(ix.nodes[u].links[l], v)
+			if len(ul) > capL {
+				ul, d = ix.pruneLinks(u, l, ul, capL)
+				dist += d
+			}
+			ix.nodes[u].links[l] = ul
+		}
+	}
+	if lvl > ix.nodes[ix.entry].level {
+		ix.entry = v
+	}
+	return dist
+}
+
+// capAt returns the per-vertex link capacity at layer l: 2M on the
+// base layer, M above.
+func (ix *Index) capAt(l int32) int {
+	if l == 0 {
+		return 2 * ix.params.M
+	}
+	return ix.params.M
+}
+
+// selectNeighbors applies the HNSW diversity heuristic to a
+// best-first-sorted candidate list: a candidate is kept only if it is
+// closer to the query than to every already-kept neighbor, which
+// spreads links across directions instead of bunching them in one
+// cluster. Skipped candidates backfill remaining slots (the paper's
+// keepPrunedConnections), preserving connectivity on clustered data.
+// All comparisons go through the Before total order on exact scores,
+// so the selection is deterministic.
+func (ix *Index) selectNeighbors(cands []Candidate, m int) ([]int32, uint64) {
+	var dist uint64
+	sel := make([]int32, 0, m)
+	var skipped []Candidate
+	for _, c := range cands {
+		if len(sel) == m {
+			break
+		}
+		crow := ix.emb.Row(int(c.ID))
+		cn := ix.norms[c.ID]
+		diverse := true
+		for _, s := range sel {
+			dist++
+			if toSel := ix.sim(crow, cn, s); toSel > c.Score {
+				diverse = false
+				break
+			}
+		}
+		if diverse {
+			sel = append(sel, c.ID)
+		} else {
+			skipped = append(skipped, c)
+		}
+	}
+	for _, c := range skipped {
+		if len(sel) == m {
+			break
+		}
+		sel = append(sel, c.ID)
+	}
+	return sel, dist
+}
+
+// pruneLinks re-selects vertex u's layer-l neighbor list down to capL
+// entries with the same diversity heuristic used at insertion, scored
+// against u itself.
+func (ix *Index) pruneLinks(u int32, l int32, links []int32, capL int) ([]int32, uint64) {
+	urow := ix.emb.Row(int(u))
+	un := ix.norms[u]
+	cs := make([]Candidate, len(links))
+	var dist uint64
+	for i, w := range links {
+		cs[i] = Candidate{ID: w, Score: ix.sim(urow, un, w)}
+		dist++
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		return Before(cs[i].Score, cs[i].ID, cs[j].Score, cs[j].ID)
+	})
+	sel, d := ix.selectNeighbors(cs, capL)
+	return sel, dist + d
+}
+
+// greedyAt walks layer l greedily from ep toward the query, moving to
+// a neighbor only on strict improvement under the Before order, so the
+// walk terminates and is deterministic.
+func (ix *Index) greedyAt(q []float64, qn float64, ep int32, epSim float64, l int32) (int32, float64, uint64) {
+	var dist uint64
+	for {
+		improved := false
+		for _, u := range ix.nodes[ep].links[l] {
+			s := ix.sim(q, qn, u)
+			dist++
+			if Before(s, u, epSim, ep) {
+				ep, epSim = u, s
+				improved = true
+			}
+		}
+		if !improved {
+			return ep, epSim, dist
+		}
+	}
+}
+
+// searchLayer is the ef-bounded best-first beam search at one layer:
+// expand the best unexpanded candidate until it cannot improve the
+// worst of the ef best found. exclude (when >= 0) is traversable but
+// never enters the result set — the serving layer's own-vertex
+// exclusion. visited must be a zeroed bitset of >= ceil(n/64) words.
+// Results come back sorted best-first under the Before order.
+func (ix *Index) searchLayer(q []float64, qn float64, ep int32, epSim float64, l int32, ef int, exclude int32, visited []uint64) ([]Candidate, uint64) {
+	var dist uint64
+	cand := newHeap(true)  // best-first expansion frontier
+	res := newHeap(false)  // worst-first bounded result set
+	visited[ep>>6] |= 1 << (uint(ep) & 63)
+	cand.push(Candidate{ID: ep, Score: epSim})
+	if ep != exclude {
+		res.push(Candidate{ID: ep, Score: epSim})
+	}
+	for cand.len() > 0 {
+		c := cand.pop()
+		if res.len() >= ef {
+			if w := res.peek(); Before(w.Score, w.ID, c.Score, c.ID) {
+				break
+			}
+		}
+		for _, u := range ix.nodes[c.ID].links[l] {
+			if visited[u>>6]&(1<<(uint(u)&63)) != 0 {
+				continue
+			}
+			visited[u>>6] |= 1 << (uint(u) & 63)
+			s := ix.sim(q, qn, u)
+			dist++
+			if res.len() >= ef {
+				if w := res.peek(); !Before(s, u, w.Score, w.ID) {
+					continue
+				}
+			}
+			cand.push(Candidate{ID: u, Score: s})
+			if u != exclude {
+				res.push(Candidate{ID: u, Score: s})
+				if res.len() > ef {
+					res.pop()
+				}
+			}
+		}
+	}
+	out := res.drain()
+	sort.Slice(out, func(i, j int) bool {
+		return Before(out[i].Score, out[i].ID, out[j].Score, out[j].ID)
+	})
+	return out, dist
+}
+
+// Search returns the k indexed vertices most cosine-similar to the
+// query vector (with precomputed norm qn), beam width ef (raised to k
+// when smaller; Params.EfSearch when <= 0). exclude (>= 0) removes
+// one vertex — typically the query's own id — from the answer.
+// Results are ranked by the Before total order; the call is read-only
+// and deterministic.
+func (ix *Index) Search(query []float64, qn float64, k, ef int, exclude int32) []Candidate {
+	if len(ix.nodes) == 0 || k < 1 {
+		return nil
+	}
+	if ef <= 0 {
+		ef = ix.params.EfSearch
+	}
+	if ef < k {
+		ef = k
+	}
+	ep := ix.entry
+	epSim := ix.sim(query, qn, ep)
+	for l := ix.nodes[ep].level; l > 0; l-- {
+		ep, epSim, _ = ix.greedyAt(query, qn, ep, epSim, l)
+	}
+	visited := make([]uint64, (len(ix.nodes)+63)/64)
+	res, _ := ix.searchLayer(query, qn, ep, epSim, 0, ef, exclude, visited)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+// SearchVertex is Search for an indexed vertex id: the query vector
+// and norm come from the table and the vertex itself is excluded.
+func (ix *Index) SearchVertex(v int32, k, ef int) []Candidate {
+	return ix.Search(ix.emb.Row(int(v)), ix.norms[v], k, ef, v)
+}

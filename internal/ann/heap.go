@@ -1,0 +1,73 @@
+package ann
+
+// heap is a small binary heap of Candidates ordered by the Before
+// total order: with best==true the root is the best-ranked entry (the
+// expansion frontier of a beam search), with best==false the root is
+// the worst-ranked (the eviction point of a bounded result set).
+// Because Before is total for distinct ids, two heaps fed the same
+// offers in the same order always pop identical sequences — no
+// tie-breaking ambiguity can leak into search results.
+type heap struct {
+	best bool
+	v    []Candidate
+}
+
+func newHeap(best bool) *heap { return &heap{best: best} }
+
+func (h *heap) len() int { return len(h.v) }
+
+// above reports whether element i must sit above element j.
+func (h *heap) above(i, j int) bool {
+	b := Before(h.v[i].Score, h.v[i].ID, h.v[j].Score, h.v[j].ID)
+	if h.best {
+		return b
+	}
+	return !b
+}
+
+func (h *heap) push(c Candidate) {
+	h.v = append(h.v, c)
+	i := len(h.v) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.above(i, p) {
+			break
+		}
+		h.v[i], h.v[p] = h.v[p], h.v[i]
+		i = p
+	}
+}
+
+// peek returns the root without removing it.
+func (h *heap) peek() Candidate { return h.v[0] }
+
+func (h *heap) pop() Candidate {
+	root := h.v[0]
+	last := len(h.v) - 1
+	h.v[0] = h.v[last]
+	h.v = h.v[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.above(l, m) {
+			m = l
+		}
+		if r < last && h.above(r, m) {
+			m = r
+		}
+		if m == i {
+			return root
+		}
+		h.v[i], h.v[m] = h.v[m], h.v[i]
+		i = m
+	}
+}
+
+// drain removes and returns all entries in unspecified heap order;
+// callers sort. The heap is empty afterwards.
+func (h *heap) drain() []Candidate {
+	out := h.v
+	h.v = nil
+	return out
+}

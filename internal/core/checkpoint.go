@@ -33,6 +33,16 @@ type checkpoint struct {
 // fields decode as zero values), LoadModel does not.
 const checkpointVersion = 2
 
+// Sanity caps on checkpoint-declared architecture, enforced by
+// LoadModel before any allocation sized by the metadata. They bound a
+// reload's memory exposure to corrupted (or hostile) checkpoint files
+// without constraining any realistic model.
+const (
+	maxCheckpointDim    = 1 << 20 // per-dimension cap (features, hidden, classes)
+	maxCheckpointLayers = 1 << 10
+	maxCheckpointParams = 1 << 28 // ~2 GiB of float64 weights
+)
+
 // Save writes the model's trainable parameters and architecture
 // metadata to w in gob format. Optimizer state is not saved; resumed
 // training restarts Adam's moment estimates.
@@ -77,10 +87,17 @@ func (m *Model) Load(r io.Reader) error {
 }
 
 // restore copies checkpoint tensors into m after verifying shapes.
+// Every length is checked before any index: a corrupted or truncated
+// checkpoint must fail with an error, never panic or silently
+// short-copy weights.
 func (m *Model) restore(ck *checkpoint) error {
 	ps := m.Params()
 	if len(ps) != len(ck.Names) {
 		return fmt.Errorf("core: checkpoint has %d tensors, model has %d", len(ck.Names), len(ps))
+	}
+	if len(ck.Rows) != len(ck.Names) || len(ck.Cols) != len(ck.Names) || len(ck.Data) != len(ck.Names) {
+		return fmt.Errorf("core: checkpoint metadata inconsistent: %d names, %d rows, %d cols, %d tensors",
+			len(ck.Names), len(ck.Rows), len(ck.Cols), len(ck.Data))
 	}
 	for i, p := range ps {
 		if p.Name != ck.Names[i] {
@@ -89,6 +106,10 @@ func (m *Model) restore(ck *checkpoint) error {
 		if p.W.Rows != ck.Rows[i] || p.W.Cols != ck.Cols[i] {
 			return fmt.Errorf("core: tensor %q shape %dx%d in checkpoint, %dx%d in model",
 				p.Name, ck.Rows[i], ck.Cols[i], p.W.Rows, p.W.Cols)
+		}
+		if len(ck.Data[i]) != ck.Rows[i]*ck.Cols[i] {
+			return fmt.Errorf("core: tensor %q carries %d values for a %dx%d shape",
+				p.Name, len(ck.Data[i]), ck.Rows[i], ck.Cols[i])
 		}
 	}
 	for i, p := range ps {
@@ -112,6 +133,18 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if ck.InDim <= 0 || ck.Classes <= 0 || ck.Layers <= 0 || ck.Hidden <= 0 {
 		return nil, fmt.Errorf("core: checkpoint metadata invalid (in=%d classes=%d layers=%d hidden=%d)",
 			ck.InDim, ck.Classes, ck.Layers, ck.Hidden)
+	}
+	// Bound the architecture before allocating it: a corrupted or
+	// hostile checkpoint that decodes cleanly must not be able to make
+	// newModelArch allocate unbounded weight matrices. The caps are far
+	// above any model this repository trains.
+	if ck.InDim > maxCheckpointDim || ck.Classes > maxCheckpointDim ||
+		ck.Hidden > maxCheckpointDim || ck.Layers > maxCheckpointLayers {
+		return nil, fmt.Errorf("core: checkpoint metadata out of bounds (in=%d classes=%d layers=%d hidden=%d, caps %d/%d)",
+			ck.InDim, ck.Classes, ck.Layers, ck.Hidden, maxCheckpointDim, maxCheckpointLayers)
+	}
+	if total := (int64(ck.InDim) + int64(ck.Hidden)*2*int64(ck.Layers) + int64(ck.Classes)) * 2 * int64(ck.Hidden); total > maxCheckpointParams {
+		return nil, fmt.Errorf("core: checkpoint declares ~%d parameters, cap %d", total, int64(maxCheckpointParams))
 	}
 	switch ck.Aggregator {
 	case "", "mean", "sym", "sum":

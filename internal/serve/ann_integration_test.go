@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"testing"
+
+	"gsgcn/internal/ann"
+	"gsgcn/internal/core"
+	"gsgcn/internal/datasets"
+)
+
+// annDataset is a >= 2k-vertex seeded graph — the scale the
+// acceptance bar names for the recall gate.
+func annDataset(tb testing.TB) *datasets.Dataset {
+	tb.Helper()
+	return datasets.Generate(datasets.Config{
+		Name: "ann-test", Vertices: 2200, TargetEdges: 17600,
+		FeatureDim: 24, NumClasses: 6,
+		Homophily: 0.8, NoiseStd: 0.5, Seed: 31,
+	})
+}
+
+// trainedEngine trains a model for a few steps (so the embedding
+// table carries real learned structure, not initialization noise) and
+// installs it.
+func trainedEngine(tb testing.TB, ds *datasets.Dataset, opts Options) *Engine {
+	tb.Helper()
+	m := core.NewModel(ds, core.Config{
+		Layers: 2, Hidden: 16, Workers: 1, Seed: 7,
+		FrontierM: 50, Budget: 400, PInter: 1,
+	})
+	tr := core.NewTrainer(ds, m)
+	for i := 0; i < 10; i++ {
+		tr.Step()
+	}
+	eng := NewEngine(ds, opts)
+	if _, err := eng.Install(m); err != nil {
+		tb.Fatal(err)
+	}
+	return eng
+}
+
+// TestANNRecallOnTrainedEmbeddings is the serving-side half of the
+// recall harness: on trained-checkpoint embeddings over a >= 2k-vertex
+// seeded graph, mode=ann at the default ef must reach recall@10 >=
+// 0.95 against the exact scanner.
+func TestANNRecallOnTrainedEmbeddings(t *testing.T) {
+	ds := annDataset(t)
+	eng := trainedEngine(t, ds, Options{Workers: 3, ANN: true})
+	st, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := eng.annIndex(st)
+
+	n := st.Emb.Rows
+	queries := make([]int32, 0, 100)
+	for q := 0; q < n; q += n / 100 {
+		queries = append(queries, int32(q))
+	}
+	rep := idx.RecallAtK(queries, 10, 0)
+	t.Logf("trained embeddings: recall@10 = %.4f (worst %.4f) over %d queries at default ef",
+		rep.Recall, rep.Worst, rep.Queries)
+	if rep.Recall < 0.95 {
+		t.Fatalf("recall@10 = %.4f on trained embeddings, want >= 0.95", rep.Recall)
+	}
+}
+
+// TestANNTopKProperties checks the serving-level invariants of
+// mode=ann answers: valid ids, no self, no duplicates, sorted by the
+// tkBefore total order, mode/ef reported, and — at ef=|V| — exact
+// agreement with the mode=exact scanner (the ann ⊆ exact property at
+// full beam width).
+func TestANNTopKProperties(t *testing.T) {
+	ds := annDataset(t)
+	eng := trainedEngine(t, ds, Options{Workers: 2})
+	n := ds.G.NumVertices()
+
+	for _, q := range []int{0, 321, 1100, 2199} {
+		res, err := eng.TopKWith(q, 10, ModeANN, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mode != ModeANN || res.Ef != eng.opts.ANNEf {
+			t.Fatalf("q=%d: mode=%q ef=%d, want ann/%d", q, res.Mode, res.Ef, eng.opts.ANNEf)
+		}
+		if len(res.Neighbors) != 10 {
+			t.Fatalf("q=%d: %d neighbors", q, len(res.Neighbors))
+		}
+		seen := make(map[int]bool)
+		for i, nb := range res.Neighbors {
+			if nb.ID < 0 || nb.ID >= n || nb.ID == q || seen[nb.ID] {
+				t.Fatalf("q=%d rank %d: bad id %d", q, i, nb.ID)
+			}
+			seen[nb.ID] = true
+			if i > 0 {
+				prev := res.Neighbors[i-1]
+				if !tkBefore(prev.Score, int32(prev.ID), nb.Score, int32(nb.ID)) {
+					t.Fatalf("q=%d: neighbors not in tkBefore order at rank %d", q, i)
+				}
+			}
+		}
+
+		// Full beam: the ANN answer must equal the exact scan. (The
+		// engine falls back to the scan at ef >= |V|-1, so probe the
+		// index directly at ef = n for the search-path property, and
+		// the engine for the fallback.)
+		st, _ := eng.Snapshot()
+		full := eng.annIndex(st).Search(st.Emb.Row(q), st.norms[q], 10, n, int32(q))
+		exact, err := eng.TopKWith(q, 10, ModeExact, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full) != len(exact.Neighbors) {
+			t.Fatalf("q=%d: full-beam %d results vs exact %d", q, len(full), len(exact.Neighbors))
+		}
+		for i, c := range full {
+			if int(c.ID) != exact.Neighbors[i].ID || c.Score != exact.Neighbors[i].Score {
+				t.Fatalf("q=%d rank %d: full-beam %+v vs exact %+v", q, i, c, exact.Neighbors[i])
+			}
+		}
+	}
+}
+
+// TestANNFallsBackToExact checks the fallback contract: an ANN
+// request whose beam or k covers the whole table is answered by the
+// exact scan and says so.
+func TestANNFallsBackToExact(t *testing.T) {
+	ds := testDataset(t, false) // 300 vertices
+	eng := trainedSmall(t, ds, Options{Workers: 2})
+	n := ds.G.NumVertices()
+
+	res, err := eng.TopKWith(5, 10, ModeANN, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeExact || res.Ef != 0 {
+		t.Errorf("ef=|V| answered in mode %q ef=%d, want exact fallback", res.Mode, res.Ef)
+	}
+	res, err = eng.TopKWith(5, n-1, ModeANN, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeExact {
+		t.Errorf("k=|V|-1 answered in mode %q, want exact fallback", res.Mode)
+	}
+	if len(res.Neighbors) != n-1 {
+		t.Errorf("k=|V|-1 returned %d neighbors", len(res.Neighbors))
+	}
+	// Past the last valid k: an error, not a clamp.
+	if _, err := eng.TopKWith(5, n, ModeANN, 0); err == nil {
+		t.Error("k=|V| should fail")
+	}
+	// Unknown mode: an error.
+	if _, err := eng.TopKWith(5, 3, "fuzzy", 0); err == nil {
+		t.Error("unknown mode should fail")
+	}
+}
+
+func trainedSmall(tb testing.TB, ds *datasets.Dataset, opts Options) *Engine {
+	tb.Helper()
+	eng := NewEngine(ds, opts)
+	if _, err := eng.Install(testModel(tb, ds, 2, "mean")); err != nil {
+		tb.Fatal(err)
+	}
+	return eng
+}
+
+// TestANNDeterministicAcrossWorkersAndRebuilds asserts the acceptance
+// bar's determinism clause at the serving layer: mode=ann result
+// lists — ids and float scores — are bit-identical across Workers
+// settings and across index rebuilds (fresh engines over the same
+// model).
+func TestANNDeterministicAcrossWorkersAndRebuilds(t *testing.T) {
+	ds := annDataset(t)
+	m := core.NewModel(ds, core.Config{
+		Layers: 2, Hidden: 16, Workers: 1, Seed: 7,
+		FrontierM: 50, Budget: 400, PInter: 1,
+	})
+	type answer struct {
+		q   int
+		nbs []Neighbor
+	}
+	collect := func(workers int) []answer {
+		eng := NewEngine(ds, Options{Workers: workers, ANN: true})
+		if _, err := eng.Install(m); err != nil {
+			t.Fatal(err)
+		}
+		var out []answer
+		for _, q := range []int{0, 99, 777, 2001} {
+			for _, ef := range []int{0, 32, 200} {
+				res, err := eng.TopKWith(q, 10, ModeANN, ef)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, answer{q: q, nbs: res.Neighbors})
+			}
+		}
+		return out
+	}
+	ref := collect(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := collect(workers)
+		for i := range ref {
+			if len(got[i].nbs) != len(ref[i].nbs) {
+				t.Fatalf("workers=%d q=%d: %d vs %d neighbors", workers, got[i].q, len(got[i].nbs), len(ref[i].nbs))
+			}
+			for j := range ref[i].nbs {
+				if got[i].nbs[j] != ref[i].nbs[j] {
+					t.Fatalf("workers=%d q=%d rank %d: %+v vs %+v",
+						workers, got[i].q, j, got[i].nbs[j], ref[i].nbs[j])
+				}
+			}
+		}
+	}
+	// Rebuild with identical settings: identical answers.
+	again := collect(1)
+	for i := range ref {
+		for j := range ref[i].nbs {
+			if again[i].nbs[j] != ref[i].nbs[j] {
+				t.Fatalf("rebuild q=%d rank %d: %+v vs %+v", ref[i].q, j, again[i].nbs[j], ref[i].nbs[j])
+			}
+		}
+	}
+}
+
+// TestANNIndexLazyAndInvalidated checks the memoization contract: the
+// index is built once per snapshot (concurrent first queries
+// included) and a reload discards it with its snapshot.
+func TestANNIndexLazyAndInvalidated(t *testing.T) {
+	ds := testDataset(t, false)
+	eng := trainedSmall(t, ds, Options{Workers: 2, ANN: true})
+	st1, _ := eng.Snapshot()
+	if st1.annIdx != nil {
+		t.Fatal("index built before any ann query")
+	}
+	a := eng.annIndex(st1)
+	if a == nil || eng.annIndex(st1) != a {
+		t.Fatal("second annIndex call did not return the memoized index")
+	}
+	if a.Len() != ds.G.NumVertices() {
+		t.Fatalf("index covers %d vertices, want %d", a.Len(), ds.G.NumVertices())
+	}
+
+	// New snapshot: fresh index over the new table.
+	if _, err := eng.Install(testModel(t, ds, 2, "sym")); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := eng.Snapshot()
+	if st2 == st1 {
+		t.Fatal("reload did not swap the snapshot")
+	}
+	if st2.annIdx != nil {
+		t.Fatal("fresh snapshot carries a prebuilt index")
+	}
+	b := eng.annIndex(st2)
+	if b == a {
+		t.Fatal("reload served the stale index")
+	}
+}
+
+// TestANNCacheKeyedByModeAndEf makes sure exact and ann answers for
+// the same (id, k) never collide in the memo cache.
+func TestANNCacheKeyedByModeAndEf(t *testing.T) {
+	ds := testDataset(t, false)
+	eng := trainedSmall(t, ds, Options{Workers: 2})
+	exact1, err := eng.TopKWith(3, 5, ModeExact, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annRes, err := eng.TopKWith(3, 5, ModeANN, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if annRes == exact1 {
+		t.Fatal("ann query served the cached exact result")
+	}
+	annRes2, err := eng.TopKWith(3, 5, ModeANN, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if annRes2 == annRes {
+		t.Fatal("different ef served the same cached result")
+	}
+	exact2, err := eng.TopKWith(3, 5, ModeExact, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact2 != exact1 {
+		t.Fatal("exact result was not memoized")
+	}
+	// Sanity: ann/exact disagreement is allowed, shared ranks agree on
+	// the total order.
+	if exact1.Mode != ModeExact || annRes.Mode != ModeANN {
+		t.Fatalf("modes: %q / %q", exact1.Mode, annRes.Mode)
+	}
+}
+
+// TestAnnPackageAgreesWithServeScan pins the two exact scanners — the
+// ann package's harness reference and serve's sharded skiplist scan —
+// to each other, element for element, on served embeddings.
+func TestAnnPackageAgreesWithServeScan(t *testing.T) {
+	ds := testDataset(t, false)
+	eng := trainedSmall(t, ds, Options{Workers: 3})
+	st, _ := eng.Snapshot()
+	for _, q := range []int{0, 42, 299} {
+		want, err := eng.TopKWith(q, 7, ModeExact, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ann.ExactTopK(st.Emb, st.norms, st.Emb.Row(q), st.norms[q], 7, int32(q))
+		if len(got) != len(want.Neighbors) {
+			t.Fatalf("q=%d: %d vs %d", q, len(got), len(want.Neighbors))
+		}
+		for i, c := range got {
+			if int(c.ID) != want.Neighbors[i].ID || c.Score != want.Neighbors[i].Score {
+				t.Fatalf("q=%d rank %d: ann %+v vs serve %+v", q, i, c, want.Neighbors[i])
+			}
+		}
+	}
+}

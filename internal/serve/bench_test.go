@@ -45,6 +45,51 @@ func BenchmarkServeEmbed(b *testing.B) {
 	b.Run("batched", func(b *testing.B) { run(b, 64) })
 }
 
+// BenchmarkTopKAnnVsExact tracks the speedup of the HNSW index over
+// the exact sharded scan on a Table-I-shaped graph: the exact path is
+// O(|V|) dot products per query, the ANN path visits only the beam's
+// neighborhood. Both sub-benchmarks bypass the memo cache (they call
+// the compute paths directly) so the numbers are per-scan, and the
+// ann case reports its recall@10 against the exact scanner so the
+// speedup is never read without its accuracy.
+func BenchmarkTopKAnnVsExact(b *testing.B) {
+	ds := datasets.Generate(datasets.Config{
+		Name: "topk-bench", Vertices: 6000, TargetEdges: 48000,
+		FeatureDim: 32, NumClasses: 8, Seed: 7,
+	})
+	m := testModel(b, ds, 2, "mean")
+	eng := NewEngine(ds, Options{})
+	if _, err := eng.Install(m); err != nil {
+		b.Fatal(err)
+	}
+	st, err := eng.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 10
+	n := st.Emb.Rows
+
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			topkScan(st, i%n, k, eng.opts.Workers)
+		}
+	})
+	b.Run("ann", func(b *testing.B) {
+		idx := eng.annIndex(st) // build outside the timed region
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.topkANN(st, i%n, k, eng.opts.ANNEf)
+		}
+		b.StopTimer()
+		queries := make([]int32, 0, 50)
+		for q := 0; q < n; q += n / 50 {
+			queries = append(queries, int32(q))
+		}
+		rep := idx.RecallAtK(queries, k, 0)
+		b.ReportMetric(rep.Recall, "recall@10")
+	})
+}
+
 // BenchmarkFullEmbeddings tracks the cost of one full-graph
 // layer-wise inference pass — the price of a hot reload.
 func BenchmarkFullEmbeddings(b *testing.B) {

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gsgcn/internal/ann"
 	"gsgcn/internal/core"
 	"gsgcn/internal/datasets"
 	"gsgcn/internal/graph"
@@ -54,6 +55,18 @@ type Options struct {
 	// (0 = 1024). Entries are keyed by snapshot version, so a model
 	// reload invalidates them wholesale.
 	TopKCache int
+	// ANN makes the HNSW index the default /topk mode (requests may
+	// still pick mode=exact per call). The index is built lazily on
+	// the first ANN query against a snapshot and memoized until the
+	// next reload.
+	ANN bool
+	// ANNM is the HNSW connectivity: links per vertex per upper
+	// layer, twice that on the base layer (0 = 16).
+	ANNM int
+	// ANNEf is the default ANN query beam width (0 = 64). Requests
+	// may override it per call with the ef parameter; recall rises
+	// with ef at the cost of visiting more candidates.
+	ANNEf int
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +81,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TopKCache == 0 {
 		o.TopKCache = 1024
+	}
+	if o.ANNM == 0 {
+		o.ANNM = 16
+	}
+	if o.ANNEf == 0 {
+		o.ANNEf = 64
 	}
 	return o
 }
@@ -89,6 +108,14 @@ type State struct {
 	Emb *mat.Dense
 	// norms[v] is ||Emb[v]||₂, precomputed for cosine similarity.
 	norms []float64
+
+	// annOnce/annIdx memoize the snapshot's HNSW index: built lazily
+	// on the first mode=ann query, shared by all subsequent ones, and
+	// discarded with the snapshot on reload (the next State rebuilds
+	// its own), so a swap can never serve an index over stale
+	// embeddings.
+	annOnce sync.Once
+	annIdx  *ann.Index
 }
 
 // Dim returns the embedding dimensionality.
@@ -112,6 +139,8 @@ type Engine struct {
 type topkKey struct {
 	version uint64
 	id, k   int
+	ann     bool
+	ef      int // 0 for exact mode
 }
 
 // NewEngine wires an engine over the dataset's graph and features.
@@ -348,12 +377,25 @@ type Neighbor struct {
 	Score float64 `json:"score"`
 }
 
-// TopKResult is the answer to a similar-nodes query.
+// Top-K query modes. ModeAuto resolves to the engine's configured
+// default (ann when Options.ANN is set, exact otherwise).
+const (
+	ModeAuto  = ""
+	ModeExact = "exact"
+	ModeANN   = "ann"
+)
+
+// TopKResult is the answer to a similar-nodes query. Mode reports how
+// the answer was computed — "exact" (full scan) or "ann" (HNSW beam
+// search); an ANN request that fell back to the exact scan reports
+// "exact". Ef is the beam width used (ann mode only).
 type TopKResult struct {
 	Version      uint64     `json:"version"`
 	ModelVersion uint64     `json:"model_version"`
 	ID           int        `json:"id"`
 	K            int        `json:"k"`
+	Mode         string     `json:"mode"`
+	Ef           int        `json:"ef,omitempty"`
 	Neighbors    []Neighbor `json:"neighbors"`
 }
 
@@ -491,12 +533,24 @@ func (e *Engine) Predict(ids []int) (*PredictResult, error) {
 }
 
 // TopK returns the k vertices most cosine-similar to id (excluding id
-// itself), ranked by descending score with ties broken by ascending
-// id. The scan shards over the worker pool; per-shard candidates
-// accumulate in bounded skiplists that merge in shard order, so the
-// answer is deterministic at every Workers setting. Results are
-// memoized per (snapshot version, id, k).
+// itself) in the engine's default mode — see TopKWith.
 func (e *Engine) TopK(id, k int) (*TopKResult, error) {
+	return e.TopKWith(id, k, ModeAuto, 0)
+}
+
+// TopKWith answers a similar-nodes query in the requested mode.
+// ModeExact runs the sharded full scan: per-shard candidates
+// accumulate in bounded skiplists that merge in shard order, so the
+// answer is deterministic at every Workers setting. ModeANN searches
+// the snapshot's HNSW index with beam width ef (<= 0 uses the
+// configured default), built lazily on first use; when the beam would
+// cover the whole table anyway (ef or k >= |V|-1) the query falls
+// back to the exact scan, and the result reports mode "exact". Both
+// modes rank by the same total order (descending score, ascending id
+// on ties) and both are bit-identical across Workers settings,
+// rebuilds and reloads. Results are memoized per (snapshot version,
+// id, k, mode, ef); k must be in [1, |V|-1].
+func (e *Engine) TopKWith(id, k int, mode string, ef int) (*TopKResult, error) {
 	st, err := e.Snapshot()
 	if err != nil {
 		return nil, err
@@ -508,9 +562,36 @@ func (e *Engine) TopK(id, k int) (*TopKResult, error) {
 		return nil, fmt.Errorf("serve: k must be >= 1, got %d", k)
 	}
 	if max := st.Emb.Rows - 1; k > max {
-		k = max
+		return nil, fmt.Errorf("serve: k=%d exceeds the %d other vertices", k, max)
 	}
-	key := topkKey{version: st.Version, id: id, k: k}
+	useANN := false
+	switch mode {
+	case ModeAuto:
+		useANN = e.opts.ANN
+	case ModeExact:
+	case ModeANN:
+		useANN = true
+	default:
+		return nil, fmt.Errorf("serve: unknown topk mode %q (want exact or ann)", mode)
+	}
+	if useANN {
+		if ef <= 0 {
+			ef = e.opts.ANNEf
+		}
+		if ef < k {
+			ef = k
+		}
+		// The beam covers (almost) the whole table: the exact scan is
+		// both cheaper and, by definition, at least as accurate.
+		if n := st.Emb.Rows; ef >= n-1 || k >= n-1 {
+			useANN = false
+		}
+	}
+	if !useANN {
+		ef = 0
+	}
+
+	key := topkKey{version: st.Version, id: id, k: k, ann: useANN, ef: ef}
 	e.cacheMu.Lock()
 	if hit, ok := e.cache[key]; ok {
 		e.cacheMu.Unlock()
@@ -518,7 +599,12 @@ func (e *Engine) TopK(id, k int) (*TopKResult, error) {
 	}
 	e.cacheMu.Unlock()
 
-	res := topkScan(st, id, k, e.opts.Workers)
+	var res *TopKResult
+	if useANN {
+		res = e.topkANN(st, id, k, ef)
+	} else {
+		res = topkScan(st, id, k, e.opts.Workers)
+	}
 
 	e.cacheMu.Lock()
 	if len(e.cache) < e.opts.TopKCache {
@@ -526,6 +612,40 @@ func (e *Engine) TopK(id, k int) (*TopKResult, error) {
 	}
 	e.cacheMu.Unlock()
 	return res, nil
+}
+
+// annIndex returns the snapshot's HNSW index, building it on first
+// use. The sync.Once makes concurrent first queries build exactly
+// once; losers block until the winner publishes. Construction is
+// deterministic (see package ann), so every rebuild of the same
+// snapshot would yield an identical structure.
+func (e *Engine) annIndex(st *State) *ann.Index {
+	st.annOnce.Do(func() {
+		st.annIdx = ann.Build(st.Emb, st.norms, ann.Params{
+			M:        e.opts.ANNM,
+			EfSearch: e.opts.ANNEf,
+		}, e.opts.Workers)
+	})
+	return st.annIdx
+}
+
+// topkANN answers a top-K query from the snapshot's HNSW index.
+func (e *Engine) topkANN(st *State, id, k, ef int) *TopKResult {
+	idx := e.annIndex(st)
+	cands := idx.Search(st.Emb.Row(id), st.norms[id], k, ef, int32(id))
+	nbs := make([]Neighbor, len(cands))
+	for i, c := range cands {
+		nbs[i] = Neighbor{ID: int(c.ID), Score: c.Score}
+	}
+	return &TopKResult{
+		Version:      st.Version,
+		ModelVersion: st.ModelVersion,
+		ID:           id,
+		K:            k,
+		Mode:         ModeANN,
+		Ef:           ef,
+		Neighbors:    nbs,
+	}
 }
 
 // topkScan computes the exact top-K cosine neighbors of id.
@@ -571,6 +691,7 @@ func topkScan(st *State, id, k, workers int) *TopKResult {
 		ModelVersion: st.ModelVersion,
 		ID:           id,
 		K:            k,
+		Mode:         ModeExact,
 		Neighbors:    final.items(),
 	}
 }

@@ -27,6 +27,7 @@ const maxQueryIDs = 4096
 //	GET|POST /embed    ?ids=0,1,2     → embedding vectors
 //	GET|POST /predict  ?ids=0,1,2     → class labels + probabilities
 //	GET      /topk     ?id=7&k=10     → most cosine-similar vertices
+//	                   &mode=exact|ann&ef=64 (ann: HNSW beam search)
 //	GET      /healthz                 → liveness + serving stats
 //	POST     /reload   {"path": "…"}  → hot-swap a new checkpoint
 //
@@ -193,6 +194,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, fmt.Errorf("%w: %s", errMethod, r.Method))
+		return
+	}
 	q := r.URL.Query()
 	id, err := strconv.Atoi(q.Get("id"))
 	if err != nil {
@@ -205,8 +210,31 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, fmt.Errorf("serve: bad k parameter %q", raw))
 			return
 		}
+	} else if n := s.eng.ds.G.NumVertices(); k > n-1 {
+		// The client sent no k: clamp the server-side default to the
+		// graph rather than rejecting it for exceeding |V|-1 (an
+		// explicit out-of-range k is still an error).
+		k = n - 1
 	}
-	res, err := s.eng.TopK(id, k)
+	mode := q.Get("mode")
+	switch mode {
+	case ModeAuto, ModeExact, ModeANN:
+	default:
+		writeErr(w, fmt.Errorf("serve: bad mode parameter %q (want exact or ann)", mode))
+		return
+	}
+	ef := 0
+	if raw := q.Get("ef"); raw != "" {
+		if ef, err = strconv.Atoi(raw); err != nil || ef < 1 {
+			writeErr(w, fmt.Errorf("serve: bad ef parameter %q (want a positive integer)", raw))
+			return
+		}
+		if mode == ModeExact || (mode == ModeAuto && !s.eng.opts.ANN) {
+			writeErr(w, fmt.Errorf("serve: ef applies only to mode=ann"))
+			return
+		}
+	}
+	res, err := s.eng.TopKWith(id, k, mode, ef)
 	if err != nil {
 		writeErr(w, err)
 		return

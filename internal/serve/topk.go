@@ -1,5 +1,7 @@
 package serve
 
+import "math"
+
 // topKList is a bounded skiplist holding the K best (score, id)
 // pairs seen so far, ordered by descending score with ties broken by
 // ascending id — the ordered in-memory index idiom of redis-style
@@ -73,8 +75,13 @@ func (t *topKList) front() *tkNode { return t.head.next[0] }
 // and the candidate does not beat the current worst entry it is
 // rejected with a single comparison; otherwise it is inserted and the
 // worst entry evicted. ids must be unique across the offer stream.
+//
+// NaN scores are rejected outright: tkBefore is not a total order in
+// their presence (every comparison against NaN answers false, which
+// would park a NaN entry at the front of the list ahead of every real
+// score), and a similarity that is not a number ranks nothing.
 func (t *topKList) Offer(id int32, score float64) {
-	if t.k <= 0 {
+	if t.k <= 0 || math.IsNaN(score) {
 		return
 	}
 	if t.length == t.k {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"testing"
 
@@ -79,6 +80,91 @@ func TestTopKListBounds(t *testing.T) {
 	one.Offer(7, 0.1)
 	if items := one.items(); len(items) != 1 || items[0].ID != 6 {
 		t.Errorf("k=1 list = %+v, want [{6 0.9}]", one.items())
+	}
+}
+
+// TestTopKListCapacityExceedsStream covers k >= |V|: fewer offers
+// than capacity must all be held, ranked, with the tail tracked
+// correctly through partial fills.
+func TestTopKListCapacityExceedsStream(t *testing.T) {
+	tk := newTopKList(50)
+	for i := 0; i < 7; i++ {
+		tk.Offer(int32(i), float64(i%3))
+	}
+	items := tk.items()
+	if len(items) != 7 || tk.Len() != 7 {
+		t.Fatalf("held %d of 7 offers (Len %d)", len(items), tk.Len())
+	}
+	want := refTopK(items, 7)
+	for i := range want {
+		if items[i] != want[i] {
+			t.Fatalf("rank %d: %+v, want %+v", i, items[i], want[i])
+		}
+	}
+	// Exactly-full boundary: k == stream length.
+	exact := newTopKList(7)
+	for i := 0; i < 7; i++ {
+		exact.Offer(int32(i), float64(i))
+	}
+	if exact.Len() != 7 {
+		t.Fatalf("k==n list held %d", exact.Len())
+	}
+	// One more offer forces the first eviction at the boundary.
+	exact.Offer(99, 100)
+	if items := exact.items(); len(items) != 7 || items[0].ID != 99 {
+		t.Fatalf("post-eviction items: %+v", items)
+	}
+}
+
+// TestTopKListAllEqualScores forces every comparison through the id
+// tiebreak: with one shared score the list must hold the k lowest
+// ids, in ascending order, regardless of offer order.
+func TestTopKListAllEqualScores(t *testing.T) {
+	offer := []int32{9, 3, 11, 0, 7, 5, 1, 8, 2, 10, 6, 4}
+	tk := newTopKList(5)
+	for _, id := range offer {
+		tk.Offer(id, 0.25)
+	}
+	items := tk.items()
+	if len(items) != 5 {
+		t.Fatalf("len = %d", len(items))
+	}
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if items[i].ID != want || items[i].Score != 0.25 {
+			t.Errorf("rank %d = %+v, want id %d", i, items[i], want)
+		}
+	}
+}
+
+// TestTopKListRejectsNaN pins the documented NaN contract: offers
+// with NaN scores are dropped — they never enter the list, never
+// evict a real entry, and never wedge the ordering (tkBefore is not a
+// total order in NaN's presence, so admission would corrupt ranking).
+func TestTopKListRejectsNaN(t *testing.T) {
+	nan := math.NaN()
+	tk := newTopKList(3)
+	tk.Offer(1, nan) // NaN into an empty list
+	if tk.Len() != 0 {
+		t.Fatalf("empty list accepted NaN: %+v", tk.items())
+	}
+	tk.Offer(2, 0.5)
+	tk.Offer(3, nan) // NaN into a partially-filled list
+	tk.Offer(4, 0.9)
+	tk.Offer(5, 0.1)
+	tk.Offer(6, nan) // NaN into a full list
+	items := tk.items()
+	if len(items) != 3 {
+		t.Fatalf("len = %d, want 3", len(items))
+	}
+	for i, want := range []Neighbor{{ID: 4, Score: 0.9}, {ID: 2, Score: 0.5}, {ID: 5, Score: 0.1}} {
+		if items[i] != want {
+			t.Fatalf("rank %d = %+v, want %+v", i, items[i], want)
+		}
+	}
+	// Real offers after NaN rejections still rank correctly.
+	tk.Offer(7, 0.7)
+	if items := tk.items(); items[1].ID != 7 {
+		t.Fatalf("post-NaN offer misplaced: %+v", items)
 	}
 }
 

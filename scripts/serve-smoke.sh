@@ -22,7 +22,7 @@ echo "== train (2 epochs)"
 "$BIN/gsgcn-train" -data "$TMP/g.gsg" -epochs 2 -hidden 16 -save "$TMP/m.ckpt" >/dev/null
 
 echo "== serve"
-"$BIN/gsgcn-serve" -data "$TMP/g.gsg" -load "$TMP/m.ckpt" -addr "127.0.0.1:$PORT" &
+"$BIN/gsgcn-serve" -data "$TMP/g.gsg" -load "$TMP/m.ckpt" -addr "127.0.0.1:$PORT" -ann &
 SERVER_PID=$!
 
 base="http://127.0.0.1:$PORT"
@@ -53,6 +53,11 @@ check "/healthz" "model_version"
 check "/embed?ids=0,1" "embeddings"
 check "/predict?ids=0,1" "labels"
 check "/topk?id=0&k=3" "neighbors"
+# -ann makes the HNSW index the default mode; both per-request
+# overrides must answer too.
+check "/topk?id=0&k=3" "ann"
+check "/topk?id=0&k=3&mode=exact" "neighbors"
+check "/topk?id=0&k=3&mode=ann&ef=32" "neighbors"
 
 # Shape sanity: two embedding vectors for two ids.
 vectors=$(curl -s "$base/embed?ids=0,1" | grep -o '\[\[' | wc -l)
