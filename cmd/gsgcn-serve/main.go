@@ -48,6 +48,7 @@ func main() {
 		annOn   = flag.Bool("ann", false, "answer /topk with the approximate HNSW index by default (per-request mode=exact|ann overrides)")
 		annM    = flag.Int("ann-m", 0, "HNSW connectivity: links per vertex per layer, 2x on the base layer (0 = 16)")
 		annEf   = flag.Int("ann-ef", 0, "default HNSW query beam width; higher = better recall, slower (0 = 64)")
+		art     = flag.String("artifact", "", "snapshot artifact (gsgcn-index output) to warm-start from; \"auto\" tries <load>.art; mismatch or absence falls back to the full compute")
 	)
 	flag.Parse()
 	if *load == "" {
@@ -71,9 +72,13 @@ func main() {
 	log.Printf("%s: |V|=%d |E|=%d attrs=%d classes=%d",
 		ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), ds.FeatureDim(), ds.NumClasses)
 
+	if *art == "auto" {
+		*art = *load + ".art"
+	}
 	srv := gsgcn.NewInferenceServer(ds, gsgcn.ServeOptions{
 		Workers: *workers, BlockSize: *block, MaxBatch: *batch,
 		ANN: *annOn, ANNM: *annM, ANNEf: *annEf,
+		ArtifactPath: *art,
 	})
 	defer srv.Close()
 	start := time.Now()
@@ -83,8 +88,14 @@ func main() {
 		os.Exit(1)
 	}
 	st, _ := srv.Engine().Snapshot()
-	log.Printf("serving %s (model_version %d, embedding dim %d, computed in %v)",
-		*load, st.ModelVersion, st.Dim(), time.Since(start).Round(time.Millisecond))
+	how := "computed"
+	if st.WarmStart {
+		how = "warm-started from " + *art
+	} else if st.WarmNote != "" {
+		log.Printf("artifact %s unusable (%s), fell back to the full compute", *art, st.WarmNote)
+	}
+	log.Printf("serving %s (model_version %d, embedding dim %d, %s in %v)",
+		*load, st.ModelVersion, st.Dim(), how, time.Since(start).Round(time.Millisecond))
 	_ = version
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 
+	"gsgcn/internal/artifact"
 	"gsgcn/internal/core"
 	"gsgcn/internal/datasets"
 	"gsgcn/internal/graph"
@@ -67,7 +68,41 @@ type (
 	// InferenceServer is the HTTP/JSON request layer (micro-batching,
 	// /embed /predict /topk /healthz /reload) over an InferenceEngine.
 	InferenceServer = serve.Server
+	// ServingArtifact is a decoded snapshot artifact: precomputed
+	// full-graph embedding table, norms and (optionally) the
+	// deterministic HNSW index, with the metadata to validate them
+	// against a checkpoint and dataset.
+	ServingArtifact = artifact.Snapshot
+	// ArtifactMeta identifies what a serving artifact was computed from.
+	ArtifactMeta = artifact.Meta
 )
+
+// BuildServingArtifact computes the serving tables for (ds, m) offline
+// — exactly the arithmetic a cold server start would run — so they can
+// be persisted with WriteServingArtifact and warm-loaded later via
+// ServeOptions.ArtifactPath. withIndex additionally builds the
+// deterministic HNSW index with the parameters opts implies.
+func BuildServingArtifact(ds *Dataset, m *Model, opts ServeOptions, withIndex bool) (*ServingArtifact, error) {
+	return serve.BuildSnapshot(ds, m, opts, withIndex)
+}
+
+// WriteServingArtifact atomically writes a serving artifact to path
+// and returns its CRC-64/ECMA checksum.
+func WriteServingArtifact(path string, s *ServingArtifact) (uint64, error) {
+	return artifact.WriteFile(path, s)
+}
+
+// WriteArtifactManifest writes the human-readable JSON sidecar next to
+// a just-written artifact and returns the manifest path.
+func WriteArtifactManifest(artifactPath, checkpointPath string, s *ServingArtifact, checksum uint64) (string, error) {
+	return artifact.WriteManifest(artifactPath, checkpointPath, s, checksum)
+}
+
+// ReadServingArtifact loads and validates the artifact at path,
+// returning the snapshot and its checksum.
+func ReadServingArtifact(path string) (*ServingArtifact, uint64, error) {
+	return artifact.ReadFile(path)
+}
 
 // LoadPreset generates a synthetic dataset matching one of the
 // paper's Table I presets ("ppi", "reddit", "yelp", "amazon"), with

@@ -69,6 +69,11 @@ type Params struct {
 	Seed uint64
 }
 
+// Resolved returns the params with defaults filled in — the exact
+// configuration Build would run with, which is what artifact
+// validation compares against a persisted index's parameters.
+func (p Params) Resolved() Params { return p.withDefaults() }
+
 func (p Params) withDefaults() Params {
 	if p.M <= 0 {
 		p.M = 16
@@ -431,8 +436,8 @@ func (ix *Index) greedyAt(q []float64, qn float64, ep int32, epSim float64, l in
 // Results come back sorted best-first under the Before order.
 func (ix *Index) searchLayer(q []float64, qn float64, ep int32, epSim float64, l int32, ef int, exclude int32, visited []uint64) ([]Candidate, uint64) {
 	var dist uint64
-	cand := newHeap(true)  // best-first expansion frontier
-	res := newHeap(false)  // worst-first bounded result set
+	cand := newHeap(true) // best-first expansion frontier
+	res := newHeap(false) // worst-first bounded result set
 	visited[ep>>6] |= 1 << (uint(ep) & 63)
 	cand.push(Candidate{ID: ep, Score: epSim})
 	if ep != exclude {

@@ -1,0 +1,316 @@
+// Package artifact implements the serving snapshot artifact: a
+// versioned, checksummed binary file persisting the full-graph
+// embedding table, its cosine norms and (optionally) the serialized
+// deterministic HNSW index next to a v2 checkpoint. Producing one
+// offline (cmd/gsgcn-index) converts a serving cold start from the
+// O(|V|·f) layer-wise recompute plus a from-scratch index build into a
+// disk read: because both the forward pass and the HNSW construction
+// are bit-deterministic (packages serve and ann), a loaded artifact is
+// byte-equal to what the server would have computed, making the warm
+// path a zero-risk shortcut.
+//
+// Binary format (version 1), all integers little-endian:
+//
+//	[0:8]    magic "GSGCNART"
+//	[8:12]   u32 format version
+//	[12:16]  u32 header length H
+//	[16:16+H]JSON-encoded Meta
+//	then:    Vertices*Dim float64 (embedding rows, row-major)
+//	         Vertices float64 (L2 norms)
+//	         u32 index blob length L (0 = no index)
+//	         L bytes: ann.EncodeBinary output
+//	trailer: u64 CRC-64/ECMA of every preceding byte
+//
+// Decode validates the trailer checksum, every declared length against
+// the actual data, and caps all metadata-driven allocations, so a
+// corrupted, truncated or hostile artifact fails with a clean error —
+// never a panic, short read or unbounded allocation (FuzzDecode).
+package artifact
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"os"
+	"path/filepath"
+
+	"gsgcn/internal/ann"
+	"gsgcn/internal/core"
+	"gsgcn/internal/mat"
+)
+
+const (
+	magic         = "GSGCNART"
+	formatVersion = 1
+
+	// maxHeaderLen caps the JSON header a decoder will buffer.
+	maxHeaderLen = 1 << 20
+	// maxVertices and maxDim cap the table shape a header may declare,
+	// mirroring core's checkpoint caps: far above any real deployment,
+	// low enough that a handful of header bytes cannot demand
+	// gigabytes. The true allocation bound is the blob length itself —
+	// both row count and width are cross-checked against the bytes
+	// actually present before anything is allocated.
+	maxVertices = 1 << 28
+	maxDim      = 1 << 20
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Meta identifies what an artifact was computed from. An artifact may
+// only stand in for a fresh compute when every field matches the
+// serving process's checkpoint (Arch, including ModelVersion) and
+// dataset (Vertices, Edges, FeatureDim): embeddings are a pure
+// function of (weights, graph, features), so any mismatch means the
+// tables could be stale.
+type Meta struct {
+	Arch core.ArchMeta `json:"arch"`
+	// WeightsSum is core.Model.WeightsChecksum() of the producing
+	// model: the content hash that catches retrained weights whose
+	// step count (Arch.ModelVersion) happens to collide.
+	WeightsSum uint64 `json:"weights_sum"`
+	Vertices   int    `json:"vertices"`
+	Edges      int64  `json:"edges"`
+	FeatureDim int    `json:"feature_dim"`
+	Dim        int    `json:"dim"`
+}
+
+// Snapshot is a decoded artifact: the precomputed serving tables plus
+// the metadata to validate them against a checkpoint and dataset.
+// Index is nil when the artifact was written without one.
+type Snapshot struct {
+	Meta  Meta
+	Emb   *mat.Dense
+	Norms []float64
+	Index *ann.Index
+}
+
+// Encode serializes a snapshot. Deterministic: equal snapshots encode
+// to equal bytes (Meta marshals with fixed field order, the tables and
+// index are fixed-layout binary).
+func Encode(s *Snapshot) ([]byte, error) {
+	if s.Emb.Rows != s.Meta.Vertices || s.Emb.Cols != s.Meta.Dim {
+		return nil, fmt.Errorf("artifact: table is %dx%d, meta declares %dx%d",
+			s.Emb.Rows, s.Emb.Cols, s.Meta.Vertices, s.Meta.Dim)
+	}
+	if len(s.Norms) != s.Meta.Vertices {
+		return nil, fmt.Errorf("artifact: %d norms for %d vertices", len(s.Norms), s.Meta.Vertices)
+	}
+	header, err := json.Marshal(s.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: encoding header: %w", err)
+	}
+	if len(header) > maxHeaderLen {
+		return nil, fmt.Errorf("artifact: header is %d bytes, cap %d", len(header), maxHeaderLen)
+	}
+	var idxBlob []byte
+	if s.Index != nil {
+		if s.Index.Len() != s.Meta.Vertices {
+			return nil, fmt.Errorf("artifact: index covers %d vertices, meta declares %d", s.Index.Len(), s.Meta.Vertices)
+		}
+		idxBlob = s.Index.EncodeBinary()
+		// The on-disk length prefix is u32; silently wrapping it would
+		// seal a checksum-valid but undecodable artifact.
+		if int64(len(idxBlob)) > math.MaxUint32 {
+			return nil, fmt.Errorf("artifact: index blob is %d bytes, exceeds the u32 length field", len(idxBlob))
+		}
+	}
+	size := 16 + len(header) + 8*len(s.Emb.Data) + 8*len(s.Norms) + 4 + len(idxBlob) + 8
+	buf := make([]byte, 0, size)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(header)))
+	buf = append(buf, header...)
+	for _, x := range s.Emb.Data {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	for _, x := range s.Norms {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(idxBlob)))
+	buf = append(buf, idxBlob...)
+	buf = binary.LittleEndian.AppendUint64(buf, crc64.Checksum(buf, crcTable))
+	return buf, nil
+}
+
+// Checksum returns the artifact's integrity fingerprint: the
+// CRC-64/ECMA every valid artifact carries as its trailer. Two reads
+// of an unchanged artifact file yield the same checksum, which is how
+// a reload detects it can reuse in-memory tables without re-decoding.
+func Checksum(data []byte) (uint64, error) {
+	if len(data) < 8 {
+		return 0, fmt.Errorf("artifact: %d bytes is too short to carry a checksum", len(data))
+	}
+	body, trailer := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
+	if got := crc64.Checksum(body, crcTable); got != trailer {
+		return 0, fmt.Errorf("artifact: checksum mismatch (stored %016x, computed %016x) — file corrupt or truncated", trailer, got)
+	}
+	return trailer, nil
+}
+
+// Decode parses and validates an artifact blob, checksum included.
+// The returned snapshot's tables are freshly allocated (independent
+// of data).
+func Decode(data []byte) (*Snapshot, error) {
+	if _, err := Checksum(data); err != nil {
+		return nil, err
+	}
+	return DecodeVerified(data)
+}
+
+// DecodeVerified parses an artifact blob whose trailer the caller has
+// already verified with Checksum, skipping the second full-file CRC
+// pass — the warm path reads multi-gigabyte artifacts, and hashing
+// them twice per install is pure wasted latency. All structural
+// validation still runs; only the integrity re-check is elided.
+func DecodeVerified(data []byte) (*Snapshot, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("artifact: %d bytes is too short to carry a checksum", len(data))
+	}
+	body := data[:len(data)-8]
+	if len(body) < 16 {
+		return nil, fmt.Errorf("artifact: truncated header (%d bytes)", len(body))
+	}
+	if string(body[:8]) != magic {
+		return nil, fmt.Errorf("artifact: bad magic %q", body[:8])
+	}
+	if v := binary.LittleEndian.Uint32(body[8:12]); v != formatVersion {
+		return nil, fmt.Errorf("artifact: format version %d, want %d", v, formatVersion)
+	}
+	hlen := int(binary.LittleEndian.Uint32(body[12:16]))
+	if hlen > maxHeaderLen || 16+hlen > len(body) {
+		return nil, fmt.Errorf("artifact: header declares %d bytes, %d available", hlen, len(body)-16)
+	}
+	var meta Meta
+	if err := json.Unmarshal(body[16:16+hlen], &meta); err != nil {
+		return nil, fmt.Errorf("artifact: decoding header: %w", err)
+	}
+	if meta.Vertices < 0 || meta.Vertices > maxVertices || meta.Dim < 0 || meta.Dim > maxDim {
+		return nil, fmt.Errorf("artifact: header declares a %dx%d table, caps %d/%d",
+			meta.Vertices, meta.Dim, maxVertices, maxDim)
+	}
+	off := 16 + hlen
+	// Size arithmetic in int64: the dim caps alone do not keep
+	// Vertices*Dim inside a 32-bit int, and a wrapped product here
+	// would defeat the bytes-actually-present check below. The tables
+	// are allocated only after the blob is known to carry them.
+	need := 8 * (int64(meta.Vertices)*int64(meta.Dim) + int64(meta.Vertices))
+	if int64(off)+need+4 > int64(len(body)) {
+		return nil, fmt.Errorf("artifact: tables need %d bytes, blob carries %d", need+4, len(body)-off)
+	}
+	emb := mat.New(meta.Vertices, meta.Dim)
+	for i := range emb.Data {
+		emb.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off : off+8]))
+		off += 8
+	}
+	norms := make([]float64, meta.Vertices)
+	for i := range norms {
+		norms[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off : off+8]))
+		off += 8
+	}
+	ilen := int(binary.LittleEndian.Uint32(body[off : off+4]))
+	off += 4
+	if off+ilen != len(body) {
+		return nil, fmt.Errorf("artifact: index declares %d bytes, %d remain", ilen, len(body)-off)
+	}
+	snap := &Snapshot{Meta: meta, Emb: emb, Norms: norms}
+	if ilen > 0 {
+		idx, err := ann.DecodeIndex(body[off:], emb, norms)
+		if err != nil {
+			return nil, err
+		}
+		snap.Index = idx
+	}
+	return snap, nil
+}
+
+// WriteFile atomically writes the snapshot as an artifact file: encode
+// to a temp file in the destination directory, fsync, rename. A
+// half-written artifact can therefore never be observed at path.
+func WriteFile(path string, s *Snapshot) (uint64, error) {
+	data, err := Encode(s)
+	if err != nil {
+		return 0, err
+	}
+	sum := binary.LittleEndian.Uint64(data[len(data)-8:])
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	// CreateTemp defaults to 0600; match the checkpoint and manifest
+	// permissions so a server running as a different user than the
+	// indexer can actually read the artifact.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return sum, nil
+}
+
+// ReadFile loads and validates the artifact at path.
+func ReadFile(path string) (*Snapshot, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	sum, err := Checksum(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	snap, err := DecodeVerified(data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, sum, nil
+}
+
+// Manifest is the human-readable sidecar written next to an artifact
+// (<artifact>.json): what the artifact contains and the checksums to
+// verify it out-of-band, without parsing the binary format.
+type Manifest struct {
+	Artifact      string `json:"artifact"`
+	Checkpoint    string `json:"checkpoint,omitempty"`
+	Checksum      string `json:"checksum"` // CRC-64/ECMA trailer, hex
+	Meta          Meta   `json:"meta"`
+	IndexChecksum string `json:"index_checksum,omitempty"`
+	IndexLinks    int    `json:"index_links,omitempty"`
+}
+
+// WriteManifest writes the manifest for a just-written artifact next
+// to it and returns the manifest path.
+func WriteManifest(artifactPath, checkpointPath string, s *Snapshot, sum uint64) (string, error) {
+	mf := Manifest{
+		Artifact:   filepath.Base(artifactPath),
+		Checkpoint: checkpointPath,
+		Checksum:   fmt.Sprintf("%016x", sum),
+		Meta:       s.Meta,
+	}
+	if s.Index != nil {
+		mf.IndexChecksum = fmt.Sprintf("%016x", s.Index.Checksum())
+		mf.IndexLinks = s.Index.Stats().Links
+	}
+	data, err := json.MarshalIndent(mf, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := artifactPath + ".json"
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,213 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc64"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsgcn/internal/ann"
+	"gsgcn/internal/core"
+	"gsgcn/internal/mat"
+)
+
+// testSnapshot builds a structurally honest snapshot: a seeded
+// embedding table, exact norms and a real HNSW index over it.
+func testSnapshot(n, dim int, withIndex bool) *Snapshot {
+	emb := mat.New(n, dim)
+	x := uint64(0x2545F4914F6CDD1D)
+	for i := range emb.Data {
+		x = x*6364136223846793005 + 1442695040888963407
+		emb.Data[i] = float64(int64(x>>11))/float64(1<<52) - 1
+	}
+	norms := make([]float64, n)
+	for v := 0; v < n; v++ {
+		row := emb.Row(v)
+		norms[v] = math.Sqrt(mat.Dot(row, row))
+	}
+	s := &Snapshot{
+		Meta: Meta{
+			Arch: core.ArchMeta{
+				ModelVersion: 42, InDim: 7, Classes: 3,
+				Aggregator: "mean", Layers: 2, Hidden: dim / 4,
+			},
+			Vertices: n, Edges: int64(4 * n), FeatureDim: 7, Dim: dim,
+		},
+		Emb:   emb,
+		Norms: norms,
+	}
+	if withIndex {
+		s.Index = ann.Build(emb, norms, ann.Params{M: 8}, 2)
+	}
+	return s
+}
+
+// TestRoundTrip pins the warm-start contract: a decoded artifact is
+// bit-identical to what was encoded — embedding bytes, norms, meta and
+// index encoding all equal — and re-encoding reproduces the file
+// byte-for-byte.
+func TestRoundTrip(t *testing.T) {
+	for _, withIndex := range []bool{true, false} {
+		s := testSnapshot(300, 16, withIndex)
+		blob, err := Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Meta != s.Meta {
+			t.Fatalf("meta round-trip: got %+v, want %+v", got.Meta, s.Meta)
+		}
+		if got.Emb.Rows != s.Emb.Rows || got.Emb.Cols != s.Emb.Cols {
+			t.Fatalf("table shape %dx%d, want %dx%d", got.Emb.Rows, got.Emb.Cols, s.Emb.Rows, s.Emb.Cols)
+		}
+		for i, x := range s.Emb.Data {
+			if math.Float64bits(got.Emb.Data[i]) != math.Float64bits(x) {
+				t.Fatalf("embedding element %d: %x, want %x", i, got.Emb.Data[i], x)
+			}
+		}
+		for v, x := range s.Norms {
+			if math.Float64bits(got.Norms[v]) != math.Float64bits(x) {
+				t.Fatalf("norm %d: %x, want %x", v, got.Norms[v], x)
+			}
+		}
+		if withIndex {
+			if got.Index == nil {
+				t.Fatal("index lost in round-trip")
+			}
+			if !bytes.Equal(got.Index.EncodeBinary(), s.Index.EncodeBinary()) {
+				t.Fatal("decoded index is not byte-equal to the encoded one")
+			}
+		} else if got.Index != nil {
+			t.Fatal("index materialized from an index-free artifact")
+		}
+		re, err := Encode(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, blob) {
+			t.Fatal("decode+encode does not reproduce the artifact bytes")
+		}
+	}
+}
+
+// TestFileRoundTrip exercises the atomic file path plus the manifest
+// sidecar.
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.art")
+	s := testSnapshot(120, 8, true)
+	sum, err := WriteFile(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSum, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSum != sum {
+		t.Fatalf("checksum %016x from read, %016x from write", gotSum, sum)
+	}
+	if got.Meta != s.Meta || got.Index == nil {
+		t.Fatalf("file round-trip mangled the snapshot: %+v", got.Meta)
+	}
+
+	mfPath, err := WriteManifest(path, "m.ckpt", s, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mf Manifest
+	if err := json.Unmarshal(data, &mf); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if mf.Meta != s.Meta || mf.Checkpoint != "m.ckpt" || mf.IndexChecksum == "" {
+		t.Fatalf("manifest incomplete: %+v", mf)
+	}
+}
+
+// TestDecodeRejectsCorruption drives the decoder with damaged
+// artifacts: every case must fail with a clean error.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	s := testSnapshot(100, 8, true)
+	blob, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reseal := func(mutate func(b []byte) []byte) []byte {
+		// Mutate the body, then restore a valid trailer so the case
+		// tests structural validation, not just the checksum.
+		b := mutate(append([]byte(nil), blob[:len(blob)-8]...))
+		return binary.LittleEndian.AppendUint64(b, crcChecksum(b))
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"too-short", blob[:4]},
+		{"truncated", blob[:len(blob)/2]},
+		{"bit-flip", func() []byte {
+			b := append([]byte(nil), blob...)
+			b[len(b)/2] ^= 1
+			return b
+		}()},
+		{"trailer-flip", func() []byte {
+			b := append([]byte(nil), blob...)
+			b[len(b)-1] ^= 1
+			return b
+		}()},
+		{"bad-magic", reseal(func(b []byte) []byte { b[0] ^= 0xFF; return b })},
+		{"future-version", reseal(func(b []byte) []byte { b[8] = 99; return b })},
+		{"header-overrun", reseal(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:16], 1<<24)
+			return b
+		})},
+		{"header-not-json", reseal(func(b []byte) []byte { b[16] = '!'; return b })},
+		{"body-truncated-resealed", reseal(func(b []byte) []byte { return b[:len(b)-64] })},
+		{"absurd-vertices", func() []byte {
+			abs := *s
+			abs.Meta.Vertices = maxVertices + 1
+			b, _ := json.Marshal(abs.Meta)
+			out := append([]byte(nil), blob[:12]...)
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(b)))
+			out = append(out, b...)
+			return binary.LittleEndian.AppendUint64(out, crcChecksum(out))
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if snap, err := Decode(tc.data); err == nil {
+				t.Fatalf("corrupt artifact accepted: %+v", snap.Meta)
+			}
+		})
+	}
+}
+
+// TestEncodeRejectsInconsistentSnapshot covers the writer-side guards.
+func TestEncodeRejectsInconsistentSnapshot(t *testing.T) {
+	s := testSnapshot(50, 8, false)
+	s.Meta.Vertices = 51
+	if _, err := Encode(s); err == nil {
+		t.Fatal("vertex-count mismatch accepted")
+	}
+	s = testSnapshot(50, 8, false)
+	s.Norms = s.Norms[:10]
+	if _, err := Encode(s); err == nil {
+		t.Fatal("short norms accepted")
+	}
+}
+
+func crcChecksum(b []byte) uint64 {
+	return crc64.Checksum(b, crcTable)
+}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc64"
 	"io"
+	"math"
 	"os"
 )
 
@@ -33,6 +36,67 @@ type checkpoint struct {
 // fields decode as zero values), LoadModel does not.
 const checkpointVersion = 2
 
+// ArchMeta is the architecture fingerprint of a model plus its
+// trained-weights generation: the fields a serving artifact must match
+// before its precomputed tables may stand in for a fresh forward pass.
+// Two models with equal ArchMeta loaded from the same checkpoint
+// produce bit-identical embeddings over the same graph.
+type ArchMeta struct {
+	ModelVersion uint64 `json:"model_version"`
+	InDim        int    `json:"in_dim"`
+	Classes      int    `json:"classes"`
+	MultiLabel   bool   `json:"multi_label"`
+	Aggregator   string `json:"aggregator"`
+	Layers       int    `json:"layers"`
+	Hidden       int    `json:"hidden"`
+}
+
+// ArchMeta returns the model's architecture fingerprint — the same
+// metadata Save embeds in a v2 checkpoint.
+func (m *Model) ArchMeta() ArchMeta {
+	return ArchMeta{
+		ModelVersion: m.ModelVersion,
+		InDim:        m.Layers[0].InDim,
+		Classes:      m.Head.OutDim,
+		MultiLabel:   m.Loss.Name() == "sigmoid-bce",
+		Aggregator:   m.Layers[0].Agg.String(),
+		Layers:       len(m.Layers),
+		Hidden:       m.cfg.Hidden,
+	}
+}
+
+// EmbeddingDim returns the width of the final-layer embedding table a
+// full-graph forward pass of this model produces.
+func (m *Model) EmbeddingDim() int {
+	return m.Layers[len(m.Layers)-1].OutWidth()
+}
+
+// weightsCRCTable is the CRC-64/ECMA table for WeightsChecksum.
+var weightsCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// WeightsChecksum fingerprints the model's trainable parameters:
+// CRC-64/ECMA over every tensor's name, shape and raw float64 bits in
+// Params() order. Serving-artifact validation needs it because
+// ModelVersion is an optimizer step count, not a content hash — two
+// trainings with different seeds or data can land on the same step
+// count, and only the weight bits tell their embeddings apart.
+func (m *Model) WeightsChecksum() uint64 {
+	h := crc64.New(weightsCRCTable)
+	var b [8]byte
+	for _, p := range m.Params() {
+		h.Write([]byte(p.Name))
+		binary.LittleEndian.PutUint64(b[:], uint64(p.W.Rows))
+		h.Write(b[:])
+		binary.LittleEndian.PutUint64(b[:], uint64(p.W.Cols))
+		h.Write(b[:])
+		for _, x := range p.W.Data {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
+}
+
 // Sanity caps on checkpoint-declared architecture, enforced by
 // LoadModel before any allocation sized by the metadata. They bound a
 // reload's memory exposure to corrupted (or hostile) checkpoint files
@@ -48,15 +112,16 @@ const (
 // training restarts Adam's moment estimates.
 func (m *Model) Save(w io.Writer) error {
 	ps := m.Params()
+	arch := m.ArchMeta()
 	ck := checkpoint{
 		Version:      checkpointVersion,
-		ModelVersion: m.ModelVersion,
-		InDim:        m.Layers[0].InDim,
-		Classes:      m.Head.OutDim,
-		MultiLabel:   m.Loss.Name() == "sigmoid-bce",
-		Aggregator:   m.Layers[0].Agg.String(),
-		Layers:       len(m.Layers),
-		Hidden:       m.cfg.Hidden,
+		ModelVersion: arch.ModelVersion,
+		InDim:        arch.InDim,
+		Classes:      arch.Classes,
+		MultiLabel:   arch.MultiLabel,
+		Aggregator:   arch.Aggregator,
+		Layers:       arch.Layers,
+		Hidden:       arch.Hidden,
 	}
 	for _, p := range ps {
 		ck.Names = append(ck.Names, p.Name)

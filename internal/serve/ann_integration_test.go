@@ -230,7 +230,7 @@ func TestANNIndexLazyAndInvalidated(t *testing.T) {
 	ds := testDataset(t, false)
 	eng := trainedSmall(t, ds, Options{Workers: 2, ANN: true})
 	st1, _ := eng.Snapshot()
-	if st1.annIdx != nil {
+	if st1.annIdx.Load() != nil {
 		t.Fatal("index built before any ann query")
 	}
 	a := eng.annIndex(st1)
@@ -249,7 +249,7 @@ func TestANNIndexLazyAndInvalidated(t *testing.T) {
 	if st2 == st1 {
 		t.Fatal("reload did not swap the snapshot")
 	}
-	if st2.annIdx != nil {
+	if st2.annIdx.Load() != nil {
 		t.Fatal("fresh snapshot carries a prebuilt index")
 	}
 	b := eng.annIndex(st2)

@@ -26,10 +26,12 @@ package serve
 import (
 	"fmt"
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 
 	"gsgcn/internal/ann"
+	"gsgcn/internal/artifact"
 	"gsgcn/internal/core"
 	"gsgcn/internal/datasets"
 	"gsgcn/internal/graph"
@@ -67,6 +69,23 @@ type Options struct {
 	// may override it per call with the ef parameter; recall rises
 	// with ef at the cost of visiting more candidates.
 	ANNEf int
+	// ArtifactPath names a snapshot artifact file (internal/artifact,
+	// produced by cmd/gsgcn-index) to warm-start from. When set, every
+	// install — initial load and hot reload alike — first tries to
+	// load the precomputed embedding table and HNSW index from the
+	// artifact, validated against the checkpoint's model_version plus
+	// arch metadata and the dataset's graph fingerprint; any mismatch,
+	// corruption or absence falls back to the lazy full compute (the
+	// reason lands in State.WarmNote and /healthz). Empty disables the
+	// warm path.
+	ArtifactPath string
+}
+
+// annParams is the HNSW configuration the engine's lazy index build
+// uses; BuildSnapshot uses the same so persisted indexes are
+// byte-equal to lazily built ones.
+func (o Options) annParams() ann.Params {
+	return ann.Params{M: o.ANNM, EfSearch: o.ANNEf}
 }
 
 func (o Options) withDefaults() Options {
@@ -109,13 +128,29 @@ type State struct {
 	// norms[v] is ||Emb[v]||₂, precomputed for cosine similarity.
 	norms []float64
 
-	// annOnce/annIdx memoize the snapshot's HNSW index: built lazily
-	// on the first mode=ann query, shared by all subsequent ones, and
-	// discarded with the snapshot on reload (the next State rebuilds
-	// its own), so a swap can never serve an index over stale
-	// embeddings.
+	// WarmStart reports that Emb/norms (and possibly the index) came
+	// from a persisted artifact instead of a fresh full-graph compute.
+	WarmStart bool
+	// WarmNote records why a configured artifact could not be used
+	// (empty when WarmStart is true or no artifact is configured).
+	WarmNote string
+
+	// annOnce/annIdx memoize the snapshot's HNSW index: installed
+	// eagerly from a warm-start artifact, or built lazily on the first
+	// mode=ann query, shared by all subsequent ones, and discarded
+	// with the snapshot on reload (the next State brings its own), so
+	// a swap can never serve an index over stale embeddings. annIdx is
+	// an atomic pointer so a reload can peek at a previous snapshot's
+	// built index without racing its builder.
 	annOnce sync.Once
-	annIdx  *ann.Index
+	annIdx  atomic.Pointer[ann.Index]
+}
+
+// setIndex installs a prebuilt index as the snapshot's memoized one.
+// Only meaningful before the first ANN query (the engine calls it
+// during snapshot construction); later calls lose to the lazy build.
+func (s *State) setIndex(idx *ann.Index) {
+	s.annOnce.Do(func() { s.annIdx.Store(idx) })
 }
 
 // Dim returns the embedding dimensionality.
@@ -131,6 +166,13 @@ type Engine struct {
 	swaps atomic.Uint64
 
 	reloadMu sync.Mutex // serializes snapshot construction
+
+	// artSum/artMeta fingerprint the artifact backing the current
+	// warm-started snapshot (guarded by reloadMu; artSum 0 = none). A
+	// reload whose artifact checksum and validation target both match
+	// reuses the in-memory tables instead of re-decoding the file.
+	artSum  uint64
+	artMeta artifact.Meta
 
 	cacheMu sync.Mutex
 	cache   map[topkKey]*TopKResult
@@ -185,24 +227,98 @@ func (e *Engine) Install(m *core.Model) (uint64, error) {
 	}
 	e.reloadMu.Lock()
 	defer e.reloadMu.Unlock()
-	emb := FullEmbeddings(m, e.ds.G, e.ds.Features, e.opts.Workers, e.opts.BlockSize)
-	norms := make([]float64, emb.Rows)
-	perf.ParallelMin(emb.Rows, 64, e.opts.Workers, func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			row := emb.Row(v)
-			norms[v] = math.Sqrt(mat.Dot(row, row))
-		}
-	})
-	st := &State{
-		Model:        m,
-		Version:      e.swaps.Add(1),
-		ModelVersion: m.ModelVersion,
-		Emb:          emb,
-		norms:        norms,
-	}
+	st := e.buildState(m)
+	st.Version = e.swaps.Add(1)
 	e.state.Store(st)
 	e.dropStaleCache(st.Version)
 	return st.Version, nil
+}
+
+// buildState produces the next serving snapshot for m (reloadMu
+// held): the artifact warm path when configured and valid, the full
+// layer-wise compute otherwise. Version is left for the caller.
+func (e *Engine) buildState(m *core.Model) *State {
+	var warmNote string
+	if e.opts.ArtifactPath != "" {
+		st, note := e.warmState(m)
+		if st != nil {
+			return st
+		}
+		warmNote = note
+	}
+	emb, norms := computeTables(m, e.ds, e.opts)
+	return &State{
+		Model:        m,
+		ModelVersion: m.ModelVersion,
+		Emb:          emb,
+		norms:        norms,
+		WarmNote:     warmNote,
+	}
+}
+
+// warmState tries to satisfy an install from the configured artifact.
+// It returns (nil, reason) on any failure — unreadable or corrupt
+// file, or metadata that does not match the model being installed and
+// the serving dataset — making the warm path strictly opt-in: a wrong
+// artifact can never alter what the engine serves, only how fast it
+// comes up. When the artifact file is unchanged since the previous
+// warm snapshot (same checksum) and still matches m, the in-memory
+// tables and any already-built index are reused outright, so a
+// /reload against an unchanged artifact costs one file read and no
+// decode. Because both the embedding compute and the HNSW build are
+// bit-deterministic, a warm snapshot is byte-identical to the cold
+// one it replaces (test-enforced in warm_test.go).
+func (e *Engine) warmState(m *core.Model) (*State, string) {
+	// Read and integrity-check the file before fingerprinting the
+	// model: the common no-artifact miss should cost one failed open,
+	// not a CRC pass over every weight tensor.
+	data, err := os.ReadFile(e.opts.ArtifactPath)
+	if err != nil {
+		return nil, err.Error()
+	}
+	sum, err := artifact.Checksum(data)
+	if err != nil {
+		return nil, err.Error()
+	}
+	want := artifactMetaFor(m, e.ds)
+	if prev := e.state.Load(); prev != nil && prev.WarmStart && sum == e.artSum && e.artMeta == want {
+		st := &State{
+			Model:        m,
+			ModelVersion: m.ModelVersion,
+			Emb:          prev.Emb,
+			norms:        prev.norms,
+			WarmStart:    true,
+		}
+		if idx := prev.annIdx.Load(); idx != nil {
+			st.setIndex(idx)
+		}
+		return st, ""
+	}
+	snap, err := artifact.DecodeVerified(data)
+	if err != nil {
+		return nil, err.Error()
+	}
+	if snap.Meta != want {
+		return nil, fmt.Sprintf("artifact was built for %+v, serving %+v", snap.Meta, want)
+	}
+	e.artSum, e.artMeta = sum, snap.Meta
+	st := &State{
+		Model:        m,
+		ModelVersion: m.ModelVersion,
+		Emb:          snap.Emb,
+		norms:        snap.Norms,
+		WarmStart:    true,
+	}
+	// Adopt the persisted index only when it is the index the lazy
+	// path would build (same structural parameters); otherwise leave
+	// the lazy build in place — the embeddings are still warm.
+	if snap.Index != nil {
+		if got, want := snap.Index.Params(), e.opts.annParams().Resolved(); got.M == want.M &&
+			got.EfConstruction == want.EfConstruction && got.Seed == want.Seed {
+			st.setIndex(snap.Index)
+		}
+	}
+	return st, ""
 }
 
 // LoadCheckpoint reconstructs a model from a v2 checkpoint file and
@@ -621,12 +737,9 @@ func (e *Engine) TopKWith(id, k int, mode string, ef int) (*TopKResult, error) {
 // snapshot would yield an identical structure.
 func (e *Engine) annIndex(st *State) *ann.Index {
 	st.annOnce.Do(func() {
-		st.annIdx = ann.Build(st.Emb, st.norms, ann.Params{
-			M:        e.opts.ANNM,
-			EfSearch: e.opts.ANNEf,
-		}, e.opts.Workers)
+		st.annIdx.Store(ann.Build(st.Emb, st.norms, e.opts.annParams(), e.opts.Workers))
 	})
-	return st.annIdx
+	return st.annIdx.Load()
 }
 
 // topkANN answers a top-K query from the snapshot's HNSW index.

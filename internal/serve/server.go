@@ -250,6 +250,8 @@ type healthBody struct {
 	Edges        int64   `json:"edges"`
 	Dim          int     `json:"dim"`
 	Classes      int     `json:"classes"`
+	WarmStart    bool    `json:"warm_start"`
+	WarmNote     string  `json:"warm_note,omitempty"`
 	Batches      uint64  `json:"batches"`
 	Queries      uint64  `json:"queries"`
 	Coalescing   float64 `json:"coalescing"`
@@ -267,6 +269,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body.Version = st.Version
 		body.ModelVersion = st.ModelVersion
 		body.Dim = st.Dim()
+		body.WarmStart = st.WarmStart
+		body.WarmNote = st.WarmNote
 	}
 	body.Batches, body.Queries = s.bat.Stats()
 	if body.Batches > 0 {

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"gsgcn/internal/ann"
+	"gsgcn/internal/artifact"
+	"gsgcn/internal/core"
+	"gsgcn/internal/datasets"
+	"gsgcn/internal/mat"
+	"gsgcn/internal/perf"
+)
+
+// artifactMetaFor returns the Meta an artifact must carry to stand in
+// for a fresh compute over (m, ds): the model's architecture
+// fingerprint, a content hash of its trained weights (ModelVersion
+// alone is a step count — two trainings can collide on it), and the
+// dataset's graph shape. Embeddings are a pure function of (weights,
+// graph, features), so equality of this struct is the precondition
+// for serving persisted tables.
+func artifactMetaFor(m *core.Model, ds *datasets.Dataset) artifact.Meta {
+	return artifact.Meta{
+		Arch:       m.ArchMeta(),
+		WeightsSum: m.WeightsChecksum(),
+		Vertices:   ds.G.NumVertices(),
+		Edges:      ds.G.NumEdges(),
+		FeatureDim: ds.FeatureDim(),
+		Dim:        m.EmbeddingDim(),
+	}
+}
+
+// computeTables runs the cold-start table computation for (m, ds):
+// the full-graph embedding pass plus per-vertex cosine norms. It is
+// the single implementation behind both Engine.buildState (online
+// cold start) and BuildSnapshot (offline artifact production) — the
+// warm-start contract that artifacts are bit-identical to a fresh
+// compute holds only while both call exactly this code.
+func computeTables(m *core.Model, ds *datasets.Dataset, opts Options) (*mat.Dense, []float64) {
+	emb := FullEmbeddings(m, ds.G, ds.Features, opts.Workers, opts.BlockSize)
+	norms := make([]float64, emb.Rows)
+	perf.ParallelMin(emb.Rows, 64, opts.Workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			row := emb.Row(v)
+			norms[v] = math.Sqrt(mat.Dot(row, row))
+		}
+	})
+	return emb, norms
+}
+
+// BuildSnapshot computes the serving tables offline — exactly the
+// arithmetic Engine.Install runs on a cold start — and packages them
+// as an artifact snapshot: the full-graph embedding table, its cosine
+// norms and, when withIndex is set, the deterministic HNSW index
+// built with the same parameters the engine's lazy path would use.
+// Both computations are bit-deterministic, so a snapshot written by
+// cmd/gsgcn-index and loaded by a server is byte-equal to what that
+// server would have computed itself.
+func BuildSnapshot(ds *datasets.Dataset, m *core.Model, opts Options, withIndex bool) (*artifact.Snapshot, error) {
+	opts = opts.withDefaults()
+	if got, want := m.Layers[0].InDim, ds.FeatureDim(); got != want {
+		return nil, fmt.Errorf("serve: model expects %d input features, dataset has %d", got, want)
+	}
+	if got, want := m.Head.OutDim, ds.NumClasses; got != want {
+		return nil, fmt.Errorf("serve: model predicts %d classes, dataset has %d", got, want)
+	}
+	emb, norms := computeTables(m, ds, opts)
+	snap := &artifact.Snapshot{Meta: artifactMetaFor(m, ds), Emb: emb, Norms: norms}
+	if withIndex {
+		snap.Index = ann.Build(emb, norms, opts.annParams(), opts.Workers)
+	}
+	return snap, nil
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench-json: run the tracked benchmarks once each, echo the raw
+# `go test -bench` output for CI logs, and write machine-readable
+# BENCH_train.json / BENCH_serve.json so the perf trajectory is
+# comparable across PRs. One iteration per benchmark keeps the gate
+# fast; the numbers are trajectory markers, not microbenchmarks.
+set -euo pipefail
+
+GO=${GO:-go}
+cd "$(dirname "$0")/.."
+
+# bench_to_json PKG PATTERN OUT — run the benchmarks and convert each
+# result line ("BenchmarkName-8  1  123 ns/op  0.95 recall@10") into
+# {"name", "iterations", "ns_per_op", "metrics": {...}}.
+bench_to_json() {
+    local pkg=$1 pattern=$2 out=$3
+    local raw
+    raw=$($GO test -run '^$' -bench "$pattern" -benchtime 1x -count 1 "$pkg")
+    printf '%s\n' "$raw"
+    printf '%s\n' "$raw" | awk -v go_version="$($GO env GOVERSION)" -v pkg="$pkg" '
+        BEGIN { n = 0 }
+        /^Benchmark/ {
+            name = $1; iters = $2; ns = ""
+            extras = ""
+            for (i = 3; i + 1 <= NF; i += 2) {
+                if ($(i + 1) == "ns/op") { ns = $i; continue }
+                gsub(/"/, "", $(i + 1))
+                extras = extras sprintf("%s\"%s\": %s", (extras == "" ? "" : ", "), $(i + 1), $i)
+            }
+            if (ns == "") next
+            lines[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s%s}",
+                name, iters, ns, (extras == "" ? "" : sprintf(", \"metrics\": {%s}", extras)))
+        }
+        END {
+            printf "{\n  \"go\": \"%s\",\n  \"package\": \"%s\",\n  \"benchmarks\": [\n", go_version, pkg
+            for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+            printf "  ]\n}\n"
+        }
+    ' > "$out"
+    echo "wrote $out"
+}
+
+bench_to_json . 'Epoch' BENCH_train.json
+bench_to_json ./internal/serve 'ServeEmbed|TopKAnnVsExact|WarmVsColdStart' BENCH_serve.json

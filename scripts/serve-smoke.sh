@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # serve-smoke: end-to-end check of the serving pipeline —
 # datagen → short train → save checkpoint → launch gsgcn-serve →
-# curl /embed and /predict → assert HTTP 200 and sane shapes.
+# curl /embed, /predict, /topk → assert HTTP 200 and sane shapes —
+# then the warm path: gsgcn-index builds a snapshot artifact, the
+# server restarts against it, /healthz must report warm_start:true and
+# every /topk answer must match the cold run byte-for-byte (the
+# artifact determinism contract, asserted over HTTP).
 # Binaries are expected in ./bin (built by `make serve-smoke`).
 set -euo pipefail
 
@@ -10,33 +14,61 @@ PORT=${PORT:-18473}
 TMP=$(mktemp -d)
 SERVER_PID=""
 cleanup() {
-    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    stop_server
     rm -rf "$TMP"
+}
+stop_server() {
+    if [ -n "$SERVER_PID" ]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+        SERVER_PID=""
+    fi
 }
 trap cleanup EXIT
 
-echo "== datagen"
-"$BIN/gsgcn-datagen" -dataset ppi -scale 0.02 -out "$TMP/g.gsg" -stats=false
-
-echo "== train (2 epochs)"
-"$BIN/gsgcn-train" -data "$TMP/g.gsg" -epochs 2 -hidden 16 -save "$TMP/m.ckpt" >/dev/null
-
-echo "== serve"
-"$BIN/gsgcn-serve" -data "$TMP/g.gsg" -load "$TMP/m.ckpt" -addr "127.0.0.1:$PORT" -ann &
-SERVER_PID=$!
-
-base="http://127.0.0.1:$PORT"
-for i in $(seq 1 50); do
-    if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
-    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-        echo "serve-smoke: server exited early" >&2; exit 1
-    fi
-    sleep 0.2
-done
+# start_server ARGS... — launch gsgcn-serve, retrying on the next
+# port only when the failure really was a bind collision (another
+# process may own the default port on a shared CI host), and wait for
+# /healthz to answer. Any other startup crash fails fast with the
+# server's own output.
+start_server() {
+    local attempt
+    for attempt in 1 2 3 4 5; do
+        "$BIN/gsgcn-serve" "$@" -addr "127.0.0.1:$PORT" 2>"$TMP/server.log" &
+        SERVER_PID=$!
+        base="http://127.0.0.1:$PORT"
+        local i
+        for i in $(seq 1 50); do
+            if curl -sf "$base/healthz" >/dev/null 2>&1; then
+                cat "$TMP/server.log" >&2
+                return 0
+            fi
+            if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+                break
+            fi
+            sleep 0.2
+        done
+        if kill -0 "$SERVER_PID" 2>/dev/null; then
+            echo "serve-smoke: server up but /healthz never answered" >&2
+            cat "$TMP/server.log" >&2
+            exit 1
+        fi
+        SERVER_PID=""
+        if ! grep -q "address already in use" "$TMP/server.log"; then
+            echo "serve-smoke: server crashed at startup:" >&2
+            cat "$TMP/server.log" >&2
+            exit 1
+        fi
+        PORT=$((PORT + 1))
+        echo "serve-smoke: port collision, retrying on $PORT" >&2
+    done
+    echo "serve-smoke: no free port after 5 attempts" >&2
+    exit 1
+}
 
 check() {
     local path=$1 field=$2
-    local out code
+    local out code body
     out=$(curl -s -w '\n%{http_code}' "$base$path")
     code=${out##*$'\n'}
     body=${out%$'\n'*}
@@ -47,6 +79,15 @@ check() {
         echo "serve-smoke: GET $path response lacks \"$field\": $body" >&2; exit 1
     fi
 }
+
+echo "== datagen"
+"$BIN/gsgcn-datagen" -dataset ppi -scale 0.02 -out "$TMP/g.gsg" -stats=false
+
+echo "== train (2 epochs)"
+"$BIN/gsgcn-train" -data "$TMP/g.gsg" -epochs 2 -hidden 16 -save "$TMP/m.ckpt" >/dev/null
+
+echo "== serve (cold)"
+start_server -data "$TMP/g.gsg" -load "$TMP/m.ckpt" -ann
 
 echo "== query"
 check "/healthz" "model_version"
@@ -63,6 +104,52 @@ check "/topk?id=0&k=3&mode=ann&ef=32" "neighbors"
 vectors=$(curl -s "$base/embed?ids=0,1" | grep -o '\[\[' | wc -l)
 if [ "$vectors" -lt 1 ]; then
     echo "serve-smoke: /embed returned no vector array" >&2; exit 1
+fi
+
+# A cold start must not claim a warm one.
+if curl -s "$base/healthz" | grep -q '"warm_start":true'; then
+    echo "serve-smoke: cold start reports warm_start:true" >&2; exit 1
+fi
+
+# Capture cold answers for the byte-for-byte warm comparison.
+topk_queries="/topk?id=0&k=3 /topk?id=1&k=5&mode=ann /topk?id=2&k=4&mode=exact"
+for q in $topk_queries; do
+    curl -s "$base$q" > "$TMP/cold$(printf '%s' "$q" | tr '/?&=' '____')"
+done
+
+echo "== index (build snapshot artifact)"
+"$BIN/gsgcn-index" -load "$TMP/m.ckpt" -data "$TMP/g.gsg" -out "$TMP/m.ckpt.art"
+if [ ! -s "$TMP/m.ckpt.art" ] || [ ! -s "$TMP/m.ckpt.art.json" ]; then
+    echo "serve-smoke: gsgcn-index left no artifact or manifest" >&2; exit 1
+fi
+
+echo "== serve (warm restart)"
+stop_server
+start_server -data "$TMP/g.gsg" -load "$TMP/m.ckpt" -ann -artifact "$TMP/m.ckpt.art"
+
+if ! curl -s "$base/healthz" | grep -q '"warm_start":true'; then
+    echo "serve-smoke: warm restart does not report warm_start:true:" >&2
+    curl -s "$base/healthz" >&2; exit 1
+fi
+
+echo "== warm answers must equal cold answers byte-for-byte"
+for q in $topk_queries; do
+    f="$TMP/cold$(printf '%s' "$q" | tr '/?&=' '____')"
+    curl -s "$base$q" > "$f.warm"
+    if ! cmp -s "$f" "$f.warm"; then
+        echo "serve-smoke: warm $q differs from cold:" >&2
+        diff "$f" "$f.warm" >&2 || true
+        exit 1
+    fi
+done
+
+# /reload against the unchanged artifact must stay warm.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/reload")
+if [ "$code" != 200 ]; then
+    echo "serve-smoke: POST /reload returned $code" >&2; exit 1
+fi
+if ! curl -s "$base/healthz" | grep -q '"warm_start":true'; then
+    echo "serve-smoke: reload lost the warm start" >&2; exit 1
 fi
 
 echo "serve-smoke: OK"
