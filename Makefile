@@ -17,14 +17,17 @@ COVER_FLOOR ?= 84.0
 
 ci: lint build race cover bench serve-smoke
 
-# lint subsumes vet: formatting drift fails the gate, and staticcheck
-# runs when the host has it (the offline CI image does not vendor it).
+# lint subsumes vet: formatting drift fails the gate, every package
+# must carry a godoc package comment (scripts/pkgdoc-lint), and
+# staticcheck runs when the host has it (the offline CI image does not
+# vendor it).
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./scripts/pkgdoc-lint
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

@@ -1,42 +1,193 @@
 // Command gsgcn-serve answers online embedding, prediction and
-// similar-node queries from a trained graph-sampling GCN checkpoint.
-// It loads the serving graph (either a .gsg file written by
-// gsgcn-datagen or a regenerated synthetic preset), computes exact
-// full-graph embeddings layer-by-layer, and serves HTTP/JSON:
+// similar-node queries from trained graph-sampling GCN checkpoints.
+// It serves one model (the PR 2–4 surface) or a fleet of independent
+// models behind one process; see docs/API.md for the full HTTP
+// reference and docs/ARCHITECTURE.md for how the pieces fit.
 //
-//	GET  /embed?ids=0,1,2     embedding vectors
-//	GET  /predict?ids=0,1,2   class labels + probabilities
-//	GET  /topk?id=7&k=10      most cosine-similar vertices
-//	     &mode=exact|ann&ef=64   exact scan vs HNSW beam search
-//	GET  /healthz             liveness + serving stats
-//	POST /reload              hot-swap a new checkpoint
+//	GET  /embed?ids=0,1,2       embedding vectors (default model)
+//	GET  /predict?ids=0,1,2     class labels + probabilities
+//	GET  /topk?id=7&k=10        most cosine-similar vertices
+//	     &mode=exact|ann&ef=64    exact scan vs HNSW beam search
+//	GET  /healthz               liveness + serving stats
+//	POST /reload                hot-swap checkpoint (and artifact)
+//	GET  /models                per-model status listing
+//	*    /models/{name}/…       any endpoint above, per model
 //
-// SIGHUP also triggers a hot reload of the checkpoint file; in-flight
+// SIGHUP hot-reloads every model's checkpoint file; in-flight
 // requests finish against the snapshot they started with.
 //
-// Usage:
+// Single model:
 //
 //	gsgcn-serve -data reddit.gsg -load model.ckpt -addr :8080
 //	gsgcn-serve -dataset ppi -scale 0.05 -load model.ckpt
+//
+// Multiple models, one per -model flag (first one is the default
+// unless -default says otherwise). The value is name=checkpoint
+// followed by optional comma-separated key=value settings — data,
+// artifact, ann, ann-m, ann-ef, workers, block, batch — which fall
+// back to the matching global flags when absent:
+//
+//	gsgcn-serve -data g.gsg \
+//	    -model prod=prod.ckpt,artifact=prod.ckpt.art,ann=true \
+//	    -model canary=canary.ckpt
+//
+// Fleets can also be described in a JSON config file; settings absent
+// from a model's JSON object inherit the matching global flags, just
+// like -model:
+//
+//	gsgcn-serve -config fleet.json
+//	{
+//	  "default": "prod",
+//	  "models": [
+//	    {"name": "prod", "checkpoint": "prod.ckpt", "data": "g.gsg",
+//	     "artifact": "prod.ckpt.art", "ann": true},
+//	    {"name": "canary", "checkpoint": "canary.ckpt", "data": "g.gsg"}
+//	  ]
+//	}
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"gsgcn"
 )
 
+// modelSpec is one model's serving configuration — the JSON config
+// schema and the parsed form of a -model flag.
+type modelSpec struct {
+	Name       string `json:"name"`
+	Checkpoint string `json:"checkpoint"`
+	// Data names a .gsg dataset file; empty uses the process-wide
+	// dataset (-data / -dataset). Models naming bit-identical data
+	// share one in-memory graph.
+	Data string `json:"data"`
+	// Artifact warm-starts this model ("auto" tries checkpoint+".art").
+	Artifact string `json:"artifact"`
+	ANN      bool   `json:"ann"`
+	ANNM     int    `json:"ann_m"`
+	ANNEf    int    `json:"ann_ef"`
+	Workers  int    `json:"workers"`
+	Block    int    `json:"block"`
+	Batch    int    `json:"batch"`
+}
+
+// fleetConfig is the -config file schema.
+type fleetConfig struct {
+	Default string      `json:"default"`
+	Models  []modelSpec `json:"models"`
+}
+
+// parseFleetConfig decodes and validates a -config document. Each
+// model is decoded over a copy of the global-flag defaults, so
+// settings absent from the JSON inherit the matching command-line
+// flags — the same semantics as -model. Unknown fields are rejected
+// so a typoed setting fails loudly instead of silently serving
+// defaults.
+func parseFleetConfig(raw []byte, defaults modelSpec) (fleetConfig, error) {
+	var doc struct {
+		Default string            `json:"default"`
+		Models  []json.RawMessage `json:"models"`
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fleetConfig{}, err
+	}
+	if len(doc.Models) == 0 {
+		return fleetConfig{}, fmt.Errorf("config lists no models")
+	}
+	fc := fleetConfig{Default: doc.Default}
+	for _, rm := range doc.Models {
+		spec := defaults
+		d := json.NewDecoder(strings.NewReader(string(rm)))
+		d.DisallowUnknownFields()
+		if err := d.Decode(&spec); err != nil {
+			return fleetConfig{}, err
+		}
+		if spec.Name == "" || spec.Checkpoint == "" {
+			return fleetConfig{}, fmt.Errorf("config model %s needs both name and checkpoint", rm)
+		}
+		fc.Models = append(fc.Models, spec)
+	}
+	return fc, nil
+}
+
+// modelFlags collects repeated -model values.
+type modelFlags []string
+
+func (m *modelFlags) String() string     { return strings.Join(*m, " ") }
+func (m *modelFlags) Set(v string) error { *m = append(*m, v); return nil }
+
+// parseModelFlag parses "name=ckpt[,key=value…]" into a spec seeded
+// from the global-flag defaults.
+func parseModelFlag(v string, def modelSpec) (modelSpec, error) {
+	spec := def
+	parts := strings.Split(v, ",")
+	name, ckpt, ok := strings.Cut(parts[0], "=")
+	if !ok || name == "" || ckpt == "" {
+		return spec, fmt.Errorf("-model %q: want name=checkpoint[,key=value…]", v)
+	}
+	spec.Name, spec.Checkpoint = name, ckpt
+	for _, p := range parts[1:] {
+		key, val, ok := strings.Cut(p, "=")
+		if !ok {
+			// A bare "ann" reads naturally as ann=true.
+			if p == "ann" {
+				spec.ANN = true
+				continue
+			}
+			return spec, fmt.Errorf("-model %q: bad setting %q (want key=value)", v, p)
+		}
+		var err error
+		switch key {
+		case "data":
+			spec.Data = val
+		case "artifact":
+			spec.Artifact = val
+		case "ann":
+			spec.ANN, err = strconv.ParseBool(val)
+		case "ann-m":
+			spec.ANNM, err = strconv.Atoi(val)
+		case "ann-ef":
+			spec.ANNEf, err = strconv.Atoi(val)
+		case "workers":
+			spec.Workers, err = strconv.Atoi(val)
+		case "block":
+			spec.Block, err = strconv.Atoi(val)
+		case "batch":
+			spec.Batch, err = strconv.Atoi(val)
+		default:
+			return spec, fmt.Errorf("-model %q: unknown setting %q", v, key)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("-model %q: bad %s value %q: %v", v, key, val, err)
+		}
+	}
+	return spec, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gsgcn-serve:", err)
+	os.Exit(1)
+}
+
 func main() {
+	var models modelFlags
 	var (
-		load    = flag.String("load", "", "model checkpoint to serve (required)")
+		load    = flag.String("load", "", "model checkpoint to serve (single-model mode)")
+		config  = flag.String("config", "", "JSON fleet config file (see package docs); overrides -load and -model")
+		defName = flag.String("default", "", "model answering the unprefixed legacy routes (default: the first model)")
 		data    = flag.String("data", "", "serving graph in .gsg format (overrides -dataset)")
 		dataset = flag.String("dataset", "ppi", "preset to regenerate when -data is unset: ppi|reddit|yelp|amazon")
 		scale   = flag.Float64("scale", 0.05, "preset scale relative to Table I")
@@ -50,67 +201,137 @@ func main() {
 		annEf   = flag.Int("ann-ef", 0, "default HNSW query beam width; higher = better recall, slower (0 = 64)")
 		art     = flag.String("artifact", "", "snapshot artifact (gsgcn-index output) to warm-start from; \"auto\" tries <load>.art; mismatch or absence falls back to the full compute")
 	)
+	flag.Var(&models, "model", "serve an extra model: name=checkpoint[,data=…][,artifact=…][,ann=…][,ann-m=…][,ann-ef=…][,workers=…][,block=…][,batch=…] (repeatable; first is the default model)")
 	flag.Parse()
-	if *load == "" {
-		fmt.Fprintln(os.Stderr, "gsgcn-serve: -load is required")
-		os.Exit(2)
+
+	// Global flags double as the per-model defaults.
+	defaults := modelSpec{
+		Artifact: *art, ANN: *annOn, ANNM: *annM, ANNEf: *annEf,
+		Workers: *workers, Block: *block, Batch: *batch,
 	}
 
-	var (
-		ds  *gsgcn.Dataset
-		err error
-	)
-	if *data != "" {
-		ds, err = gsgcn.ReadDataset(*data)
-	} else {
-		ds, err = gsgcn.LoadPreset(*dataset, *scale, *seed)
+	var specs []modelSpec
+	wantDefault := *defName
+	switch {
+	case *config != "":
+		raw, err := os.ReadFile(*config)
+		if err != nil {
+			fatal(err)
+		}
+		fc, err := parseFleetConfig(raw, defaults)
+		if err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *config, err))
+		}
+		specs = fc.Models
+		if wantDefault == "" {
+			wantDefault = fc.Default
+		}
+	case len(models) > 0:
+		for _, v := range models {
+			spec, err := parseModelFlag(v, defaults)
+			if err != nil {
+				fatal(err)
+			}
+			specs = append(specs, spec)
+		}
+	default:
+		if *load == "" {
+			fmt.Fprintln(os.Stderr, "gsgcn-serve: -load, -model or -config is required")
+			os.Exit(2)
+		}
+		spec := defaults
+		spec.Name, spec.Checkpoint = "default", *load
+		specs = []modelSpec{spec}
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gsgcn-serve:", err)
-		os.Exit(1)
-	}
-	log.Printf("%s: |V|=%d |E|=%d attrs=%d classes=%d",
-		ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), ds.FeatureDim(), ds.NumClasses)
 
-	if *art == "auto" {
-		*art = *load + ".art"
+	// Datasets: the process-wide one (global flags) is loaded lazily;
+	// per-model data files are read once per distinct path. The
+	// registry additionally dedupes by content fingerprint.
+	dsCache := make(map[string]*gsgcn.Dataset)
+	datasetFor := func(path string) (*gsgcn.Dataset, error) {
+		if path == "" {
+			// Normalize so an explicit data=g.gsg and the global -data
+			// g.gsg hit the same cache entry ("" keys the preset case).
+			path = *data
+		}
+		if ds, ok := dsCache[path]; ok {
+			return ds, nil
+		}
+		var (
+			ds  *gsgcn.Dataset
+			err error
+		)
+		if path != "" {
+			ds, err = gsgcn.ReadDataset(path)
+		} else {
+			ds, err = gsgcn.LoadPreset(*dataset, *scale, *seed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("%s: |V|=%d |E|=%d attrs=%d classes=%d",
+			ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), ds.FeatureDim(), ds.NumClasses)
+		dsCache[path] = ds
+		return ds, nil
 	}
-	srv := gsgcn.NewInferenceServer(ds, gsgcn.ServeOptions{
-		Workers: *workers, BlockSize: *block, MaxBatch: *batch,
-		ANN: *annOn, ANNM: *annM, ANNEf: *annEf,
-		ArtifactPath: *art,
-	})
-	defer srv.Close()
-	start := time.Now()
-	version, err := srv.Load(*load)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gsgcn-serve:", err)
-		os.Exit(1)
-	}
-	st, _ := srv.Engine().Snapshot()
-	how := "computed"
-	if st.WarmStart {
-		how = "warm-started from " + *art
-	} else if st.WarmNote != "" {
-		log.Printf("artifact %s unusable (%s), fell back to the full compute", *art, st.WarmNote)
-	}
-	log.Printf("serving %s (model_version %d, embedding dim %d, %s in %v)",
-		*load, st.ModelVersion, st.Dim(), how, time.Since(start).Round(time.Millisecond))
-	_ = version
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	reg := gsgcn.NewModelRegistry()
+	defer reg.Close()
+	for _, spec := range specs {
+		if spec.Artifact == "auto" {
+			spec.Artifact = spec.Checkpoint + ".art"
+		}
+		ds, err := datasetFor(spec.Data)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := reg.Add(spec.Name, ds, gsgcn.ServeOptions{
+			Workers: spec.Workers, BlockSize: spec.Block, MaxBatch: spec.Batch,
+			ANN: spec.ANN, ANNM: spec.ANNM, ANNEf: spec.ANNEf,
+			ArtifactPath: spec.Artifact,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if _, err := srv.Load(spec.Checkpoint); err != nil {
+			fatal(fmt.Errorf("model %q: %w", spec.Name, err))
+		}
+		st, _ := srv.Engine().Snapshot()
+		how := "computed"
+		if st.WarmStart {
+			how = "warm-started from " + spec.Artifact
+		} else if st.WarmNote != "" {
+			log.Printf("model %q: artifact %s unusable (%s), fell back to the full compute",
+				spec.Name, spec.Artifact, st.WarmNote)
+		}
+		log.Printf("model %q: serving %s (model_version %d, embedding dim %d, %s in %v)",
+			spec.Name, spec.Checkpoint, st.ModelVersion, st.Dim(), how,
+			time.Since(start).Round(time.Millisecond))
+	}
+	if wantDefault != "" {
+		if err := reg.SetDefault(wantDefault); err != nil {
+			fatal(err)
+		}
+	}
+	log.Printf("default model: %q (legacy unprefixed routes)", reg.Default())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: reg}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
 	go func() {
 		for sig := range sigs {
 			if sig == syscall.SIGHUP {
-				v, err := srv.Reload()
-				if err != nil {
-					log.Printf("reload failed: %v", err)
-					continue
+				for _, name := range reg.Names() {
+					srv, _ := reg.Get(name)
+					v, err := srv.Reload()
+					if err != nil {
+						log.Printf("model %q: reload failed: %v", name, err)
+						continue
+					}
+					log.Printf("model %q: hot-reloaded as version %d", name, v)
 				}
-				log.Printf("hot-reloaded %s as version %d", *load, v)
 				continue
 			}
 			log.Printf("shutting down on %v", sig)
@@ -123,7 +344,6 @@ func main() {
 
 	log.Printf("listening on %s", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, "gsgcn-serve:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 }

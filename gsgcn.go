@@ -68,6 +68,11 @@ type (
 	// InferenceServer is the HTTP/JSON request layer (micro-batching,
 	// /embed /predict /topk /healthz /reload) over an InferenceEngine.
 	InferenceServer = serve.Server
+	// ModelRegistry serves several independent models from one process:
+	// each registered model is a full InferenceServer reached as
+	// /models/{name}/…, with the unprefixed routes answering from a
+	// configured default model. See docs/API.md for the HTTP surface.
+	ModelRegistry = serve.Registry
 	// ServingArtifact is a decoded snapshot artifact: precomputed
 	// full-graph embedding table, norms and (optionally) the
 	// deterministic HNSW index, with the metadata to validate them
@@ -153,6 +158,17 @@ func NewInferenceEngine(ds *Dataset, opts ServeOptions) *InferenceEngine {
 func NewInferenceServer(ds *Dataset, opts ServeOptions) *InferenceServer {
 	return serve.NewServer(ds, opts)
 }
+
+// NewModelRegistry returns an empty multi-model serving registry.
+// Register models with Add (datasets with identical content are
+// shared between them automatically), pick a default, and mount the
+// registry as an http.Handler.
+func NewModelRegistry() *ModelRegistry { return serve.NewRegistry() }
+
+// DatasetFingerprint hashes a dataset's content — graph structure,
+// feature bits and label regime. Models registered over datasets with
+// equal fingerprints share one in-memory graph (see ModelRegistry).
+func DatasetFingerprint(ds *Dataset) uint64 { return core.DataFingerprint(ds) }
 
 // NewTrainer wires a trainer using the Dashboard frontier sampler.
 func NewTrainer(ds *Dataset, m *Model) *Trainer { return core.NewTrainer(ds, m) }

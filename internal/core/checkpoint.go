@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"hash/crc64"
 	"io"
-	"math"
 	"os"
 )
 
@@ -89,10 +88,9 @@ func (m *Model) WeightsChecksum() uint64 {
 		h.Write(b[:])
 		binary.LittleEndian.PutUint64(b[:], uint64(p.W.Cols))
 		h.Write(b[:])
-		for _, x := range p.W.Data {
-			binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
-			h.Write(b[:])
-		}
+		// Batched, but byte-identical to the original per-element
+		// writes: checksums persisted in existing artifacts stay valid.
+		hashFloat64s(h, p.W.Data)
 	}
 	return h.Sum64()
 }

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+	"io"
+	"math"
+
+	"gsgcn/internal/datasets"
+)
+
+// hashChunk is the staging-buffer size (in 8-byte words) for the
+// batched hash helpers: large enough that per-Write call overhead
+// vanishes against Table-I-scale matrices, small enough to live on
+// the stack.
+const hashChunk = 512
+
+// hashFloat64s writes the IEEE-754 bit patterns of xs to h in order,
+// batched through a fixed buffer. The byte stream is identical to
+// writing each value individually.
+func hashFloat64s(h io.Writer, xs []float64) {
+	var buf [hashChunk * 8]byte
+	for len(xs) > 0 {
+		n := len(xs)
+		if n > hashChunk {
+			n = hashChunk
+		}
+		for i, x := range xs[:n] {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+		}
+		h.Write(buf[:n*8])
+		xs = xs[n:]
+	}
+}
+
+// hashInt64s is hashFloat64s for int64 slices.
+func hashInt64s(h io.Writer, xs []int64) {
+	var buf [hashChunk * 8]byte
+	for len(xs) > 0 {
+		n := len(xs)
+		if n > hashChunk {
+			n = hashChunk
+		}
+		for i, x := range xs[:n] {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(x))
+		}
+		h.Write(buf[:n*8])
+		xs = xs[n:]
+	}
+}
+
+// DataFingerprint identifies a dataset by content: CRC-64/ECMA over
+// the graph structure (vertex count, CSR row offsets and adjacency),
+// the feature matrix bits, the label matrix bits and the label
+// regime (class count, multi-label flag). Two datasets with equal
+// fingerprints produce bit-identical full-graph embeddings for the
+// same model, so a serving process holding several models trained on
+// the same data can share one in-memory graph between them
+// (serve.Registry does exactly that). The hash is content-addressed,
+// not name-addressed: the same .gsg file read twice — or the same
+// preset regenerated from the same seed — fingerprints identically.
+// The Name field and the train/val/test split are deliberately
+// excluded: they affect neither embeddings nor any serving answer.
+func DataFingerprint(ds *datasets.Dataset) uint64 {
+	h := crc64.New(weightsCRCTable)
+	var b [8]byte
+	putInt := func(x int64) {
+		binary.LittleEndian.PutUint64(b[:], uint64(x))
+		h.Write(b[:])
+	}
+	putInt(int64(ds.G.N))
+	hashInt64s(h, ds.G.RowPtr)
+	// Adjacency ids are int32; hash them in pairs so the byte stream
+	// stays 8-byte aligned with the rest.
+	for i := 0; i+1 < len(ds.G.ColIdx); i += 2 {
+		binary.LittleEndian.PutUint32(b[:4], uint32(ds.G.ColIdx[i]))
+		binary.LittleEndian.PutUint32(b[4:], uint32(ds.G.ColIdx[i+1]))
+		h.Write(b[:])
+	}
+	if len(ds.G.ColIdx)%2 == 1 {
+		putInt(int64(ds.G.ColIdx[len(ds.G.ColIdx)-1]))
+	}
+	putInt(int64(ds.Features.Rows))
+	putInt(int64(ds.Features.Cols))
+	hashFloat64s(h, ds.Features.Data)
+	putInt(int64(ds.Labels.Rows))
+	putInt(int64(ds.Labels.Cols))
+	hashFloat64s(h, ds.Labels.Data)
+	putInt(int64(ds.NumClasses))
+	if ds.MultiLabel {
+		putInt(1)
+	} else {
+		putInt(0)
+	}
+	return h.Sum64()
+}

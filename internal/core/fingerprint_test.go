@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"gsgcn/internal/datasets"
+)
+
+// TestDataFingerprint pins the content-addressing contract behind
+// multi-model graph sharing: regenerating the same dataset yields the
+// same fingerprint, and any content change — seed, a feature bit, an
+// edge, the label regime — changes it.
+func TestDataFingerprint(t *testing.T) {
+	cfg := datasets.Config{
+		Name: "fp", Vertices: 150, TargetEdges: 700,
+		FeatureDim: 5, NumClasses: 3, Seed: 9,
+	}
+	a := datasets.Generate(cfg)
+	b := datasets.Generate(cfg)
+	if DataFingerprint(a) != DataFingerprint(b) {
+		t.Fatal("identical generations fingerprint differently")
+	}
+
+	cfg.Seed = 10
+	if DataFingerprint(a) == DataFingerprint(datasets.Generate(cfg)) {
+		t.Error("different seeds collide")
+	}
+
+	// One flipped feature bit must change the hash.
+	cfg.Seed = 9
+	c := datasets.Generate(cfg)
+	c.Features.Data[7] += 1e-12
+	if DataFingerprint(a) == DataFingerprint(c) {
+		t.Error("feature perturbation not detected")
+	}
+
+	// Label content is part of the identity even when the graph and
+	// features agree.
+	f := datasets.Generate(cfg)
+	row := f.Labels.Row(3)
+	for j := range row {
+		row[j] = 1 - row[j] // move vertex 3 to a different class
+	}
+	if DataFingerprint(a) == DataFingerprint(f) {
+		t.Error("label change not detected")
+	}
+
+	// The label regime is part of the identity even when the graph and
+	// features agree.
+	d := datasets.Generate(cfg)
+	d.NumClasses++
+	if DataFingerprint(a) == DataFingerprint(d) {
+		t.Error("class-count change not detected")
+	}
+	e := datasets.Generate(cfg)
+	e.MultiLabel = !e.MultiLabel
+	if DataFingerprint(a) == DataFingerprint(e) {
+		t.Error("multi-label flip not detected")
+	}
+}

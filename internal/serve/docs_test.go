@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocCoversRegisteredRoutes enforces the documentation
+// contract both ways: every route the serving process registers must
+// appear (in backticks) in docs/API.md, and every route named in an
+// API.md section heading must still be registered — so the reference
+// can neither lag behind the code nor describe endpoints that no
+// longer exist.
+func TestAPIDocCoversRegisteredRoutes(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md must exist: %v", err)
+	}
+	doc := string(raw)
+
+	registered := make(map[string]bool)
+	for _, r := range RegisteredRoutes() {
+		registered[r.Pattern] = true
+		if !strings.Contains(doc, "`"+r.Pattern+"`") {
+			t.Errorf("registered route %s %s is not documented in docs/API.md", r.Methods, r.Pattern)
+		}
+		// The accepted methods must be stated somewhere in the doc for
+		// this route's section; a plain mention suffices (e.g. "GET,
+		// POST." or a "GET only" note).
+		for _, m := range strings.Split(r.Methods, ", ") {
+			if !strings.Contains(doc, m) {
+				t.Errorf("method %s of route %s never appears in docs/API.md", m, r.Pattern)
+			}
+		}
+	}
+
+	// Reverse direction: routes named in section headings must exist.
+	headingRoute := regexp.MustCompile("`(/[^`]*)`")
+	for _, line := range strings.Split(doc, "\n") {
+		if !strings.HasPrefix(line, "## ") {
+			continue
+		}
+		for _, m := range headingRoute.FindAllStringSubmatch(line, -1) {
+			if !registered[m[1]] {
+				t.Errorf("docs/API.md documents %q, which is not a registered route", m[1])
+			}
+		}
+	}
+}
+
+// TestRegisteredRoutesComplete cross-checks the route table against
+// the live muxes: every per-model endpoint in the table must be
+// routable on a Server, and the registry must answer (or cleanly
+// reject) both spellings — so the table RegisteredRoutes derives from
+// cannot drift from what is actually served.
+func TestRegisteredRoutesComplete(t *testing.T) {
+	ds := testDataset(t, false)
+	srv := NewServer(ds, Options{Workers: 1})
+	defer srv.Close()
+	for _, e := range perModelEndpoints {
+		if srv.handlerFor(e.Pattern) == nil {
+			t.Errorf("endpoint %s has no handler", e.Pattern)
+		}
+		// The mux must route the pattern to our handler, not a 404:
+		// http.ServeMux.Handler reports the registered pattern.
+		req, err := http.NewRequest("GET", e.Pattern, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, got := srv.mux.Handler(req); got != e.Pattern {
+			t.Errorf("mux routes %s to pattern %q", e.Pattern, got)
+		}
+	}
+	// /models + the bare /models/{name} alias + both spellings of
+	// every per-model endpoint.
+	want := 2 + 2*len(perModelEndpoints)
+	if got := len(RegisteredRoutes()); got != want {
+		t.Errorf("RegisteredRoutes lists %d routes, want %d", got, want)
+	}
+	seen := make(map[string]bool)
+	for _, r := range RegisteredRoutes() {
+		if seen[r.Pattern] {
+			t.Errorf("duplicate route pattern %s", r.Pattern)
+		}
+		seen[r.Pattern] = true
+		if r.Methods == "" {
+			t.Errorf("route %s declares no methods", r.Pattern)
+		}
+	}
+}

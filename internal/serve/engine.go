@@ -156,6 +156,12 @@ func (s *State) setIndex(idx *ann.Index) {
 // Dim returns the embedding dimensionality.
 func (s *State) Dim() int { return s.Emb.Cols }
 
+// IndexReady reports whether the snapshot's HNSW index is resident —
+// installed from a warm-start artifact or already built by a
+// mode=ann query. False means the first ANN query against this
+// snapshot will pay the lazy build.
+func (s *State) IndexReady() bool { return s.annIdx.Load() != nil }
+
 // Engine answers embedding, prediction and similarity queries from
 // the latest published State.
 type Engine struct {
@@ -166,6 +172,22 @@ type Engine struct {
 	swaps atomic.Uint64
 
 	reloadMu sync.Mutex // serializes snapshot construction
+
+	// artMu guards artifactPath/artDirty — deliberately a separate
+	// mutex from reloadMu so /healthz and /models can report the
+	// warm-start source while a slow snapshot build holds reloadMu;
+	// liveness probes must never stall behind a reload's full-graph
+	// recompute.
+	artMu sync.Mutex
+	// artifactPath is the warm-start source consulted on every
+	// install. It starts as Options.ArtifactPath and can be retargeted
+	// between reloads with SetArtifactPath — e.g. a /reload that ships
+	// a new checkpoint together with its freshly built artifact. Empty
+	// disables the warm path.
+	artifactPath string
+	// artDirty marks a retarget since the last install, telling the
+	// next buildState to forget the previous artifact's fingerprint.
+	artDirty bool
 
 	// artSum/artMeta fingerprint the artifact backing the current
 	// warm-started snapshot (guarded by reloadMu; artSum 0 = none). A
@@ -189,15 +211,45 @@ type topkKey struct {
 // No model is loaded yet; queries fail until Install or
 // LoadCheckpoint succeeds.
 func NewEngine(ds *datasets.Dataset, opts Options) *Engine {
+	opts = opts.withDefaults()
 	return &Engine{
-		ds:    ds,
-		opts:  opts.withDefaults(),
-		cache: make(map[topkKey]*TopKResult),
+		ds:           ds,
+		opts:         opts,
+		artifactPath: opts.ArtifactPath,
+		cache:        make(map[topkKey]*TopKResult),
 	}
 }
 
-// Options returns the resolved options.
+// Options returns the resolved options as configured at construction.
+// The live warm-start source may since have been retargeted; read it
+// with ArtifactPath.
 func (e *Engine) Options() Options { return e.opts }
+
+// ArtifactPath returns the warm-start artifact path the next install
+// will consult (empty = warm path disabled). It never touches
+// reloadMu, so status endpoints can call it during a slow reload.
+func (e *Engine) ArtifactPath() string {
+	e.artMu.Lock()
+	defer e.artMu.Unlock()
+	return e.artifactPath
+}
+
+// SetArtifactPath retargets the warm-start source for subsequent
+// installs and reloads. Changing the path also makes the next install
+// forget the previous artifact's fingerprint, so it fully re-reads
+// and re-validates the new file instead of short-circuiting into the
+// unchanged-artifact reuse path. The current serving snapshot is
+// untouched: /healthz keeps reporting the state it was built with
+// until the next reload actually installs one.
+func (e *Engine) SetArtifactPath(path string) {
+	e.artMu.Lock()
+	defer e.artMu.Unlock()
+	if e.artifactPath == path {
+		return
+	}
+	e.artifactPath = path
+	e.artDirty = true
+}
 
 // Dataset returns the graph/features the engine serves over.
 func (e *Engine) Dataset() *datasets.Dataset { return e.ds }
@@ -238,9 +290,18 @@ func (e *Engine) Install(m *core.Model) (uint64, error) {
 // held): the artifact warm path when configured and valid, the full
 // layer-wise compute otherwise. Version is left for the caller.
 func (e *Engine) buildState(m *core.Model) *State {
+	e.artMu.Lock()
+	artPath, dirty := e.artifactPath, e.artDirty
+	e.artDirty = false
+	e.artMu.Unlock()
+	if dirty {
+		// The source was retargeted since the last install: the cached
+		// fingerprint describes a different file.
+		e.artSum, e.artMeta = 0, artifact.Meta{}
+	}
 	var warmNote string
-	if e.opts.ArtifactPath != "" {
-		st, note := e.warmState(m)
+	if artPath != "" {
+		st, note := e.warmState(m, artPath)
 		if st != nil {
 			return st
 		}
@@ -268,11 +329,11 @@ func (e *Engine) buildState(m *core.Model) *State {
 // decode. Because both the embedding compute and the HNSW build are
 // bit-deterministic, a warm snapshot is byte-identical to the cold
 // one it replaces (test-enforced in warm_test.go).
-func (e *Engine) warmState(m *core.Model) (*State, string) {
+func (e *Engine) warmState(m *core.Model, artPath string) (*State, string) {
 	// Read and integrity-check the file before fingerprinting the
 	// model: the common no-artifact miss should cost one failed open,
 	// not a CRC pass over every weight tensor.
-	data, err := os.ReadFile(e.opts.ArtifactPath)
+	data, err := os.ReadFile(artPath)
 	if err != nil {
 		return nil, err.Error()
 	}

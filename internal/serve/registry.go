@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"gsgcn/internal/core"
+	"gsgcn/internal/datasets"
+)
+
+// Registry serves N independent models from one process. Each model
+// is a full single-model Server — its own Engine, checkpoint,
+// optional warm-start artifact, ANN configuration, micro-batcher and
+// snapshot/reload lifecycle — keyed by name and reached as
+// /models/{name}/embed|predict|topk|healthz|reload. The unprefixed
+// PR 2–4 routes keep working against a configured default model and
+// are byte-compatible with a single-model process: the registry
+// dispatches them to the default model's own handlers untouched.
+//
+// Isolation is per model by construction: nothing is shared between
+// engines except (read-only) datasets, so one model's reload —
+// successful or failing — can neither block nor alter another
+// model's answers, and every single-model guarantee (bit-determinism
+// of answers, atomic hot reload that never drops in-flight requests)
+// carries over unchanged. The registry concurrency suite enforces
+// this.
+//
+// Memory is shared where it provably cannot affect answers: Add
+// fingerprints each dataset's content (core.DataFingerprint — graph
+// structure, feature bits, label regime) and models registered over
+// identical data serve from one in-memory graph and feature table.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*Server
+	order  []string // registration order, for stable listings
+	def    string
+
+	// data dedupes registered datasets by content fingerprint;
+	// dataFP memoizes the fingerprint per already-seen instance so
+	// registering N models over the same *Dataset pointer hashes its
+	// content once, not N times.
+	data   map[uint64]*datasets.Dataset
+	dataFP map[*datasets.Dataset]uint64
+}
+
+// NewRegistry returns an empty registry. Add at least one model and
+// set (or default) a default before serving legacy routes.
+func NewRegistry() *Registry {
+	return &Registry{
+		models: make(map[string]*Server),
+		data:   make(map[uint64]*datasets.Dataset),
+		dataFP: make(map[*datasets.Dataset]uint64),
+	}
+}
+
+// validModelName reports whether name can appear as a path segment:
+// nonempty, no slashes, none of the reserved spellings.
+func validModelName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\\ \t\n?#%")
+}
+
+// Add registers a model: a fresh single-model Server over ds with its
+// own options. The first model added becomes the default until
+// SetDefault says otherwise. When ds has the same content fingerprint
+// as an earlier model's dataset, the earlier (identical) in-memory
+// dataset is shared instead — embeddings are a pure function of
+// (weights, graph, features), so sharing bit-equal data can never
+// change an answer, and a fleet of models trained on one graph costs
+// one graph's memory. No checkpoint is loaded yet; call Load on the
+// returned server.
+func (r *Registry) Add(name string, ds *datasets.Dataset, opts Options) (*Server, error) {
+	if !validModelName(name) {
+		return nil, fmt.Errorf("serve: invalid model name %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.models[name]; dup {
+		return nil, fmt.Errorf("serve: model %q already registered", name)
+	}
+	fp, seen := r.dataFP[ds]
+	if !seen {
+		fp = core.DataFingerprint(ds)
+		r.dataFP[ds] = fp
+	}
+	if shared, ok := r.data[fp]; ok {
+		ds = shared
+	} else {
+		r.data[fp] = ds
+	}
+	srv := NewServer(ds, opts)
+	r.models[name] = srv
+	r.order = append(r.order, name)
+	if r.def == "" {
+		r.def = name
+	}
+	return srv, nil
+}
+
+// SetDefault names the model behind the unprefixed legacy routes.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[name]; !ok {
+		return fmt.Errorf("serve: unknown model %q", name)
+	}
+	r.def = name
+	return nil
+}
+
+// Default returns the name of the model behind the legacy routes
+// (empty while the registry is empty).
+func (r *Registry) Default() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.def
+}
+
+// Get returns the named model's server.
+func (r *Registry) Get(name string) (*Server, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	srv, ok := r.models[name]
+	return srv, ok
+}
+
+// Names returns the registered model names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Close stops every model's micro-batch dispatcher.
+func (r *Registry) Close() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, srv := range r.models {
+		srv.Close()
+	}
+}
+
+// modelStatus is one model's entry in the /models listing and the
+// body of /models/{name}/healthz: the per-model health surface. It
+// embeds the legacy healthBody — assembled by the same Server.health
+// the unprefixed /healthz serves — so the extended body is a field
+// superset of the legacy one by construction, and adds what only the
+// registry knows: the name, default flag, configured sources, and
+// index residency. Every field is read from the model's current
+// serving snapshot at request time, so it reflects the most recent
+// successful reload, not the initial load.
+type modelStatus struct {
+	Name       string `json:"name"`
+	Default    bool   `json:"default"`
+	Checkpoint string `json:"checkpoint,omitempty"`
+	Artifact   string `json:"artifact,omitempty"`
+	healthBody
+	ANNDefault bool   `json:"ann_default"`
+	Index      string `json:"index"` // "built" | "lazy" | "none"
+}
+
+// statusFor assembles the live status of one registered model.
+func (r *Registry) statusFor(name string, srv *Server) modelStatus {
+	ms := modelStatus{
+		Name:       name,
+		Default:    name == r.Default(),
+		Checkpoint: srv.CheckpointPath(),
+		Artifact:   srv.eng.ArtifactPath(),
+		healthBody: srv.health(),
+		ANNDefault: srv.eng.opts.ANN,
+		Index:      "none",
+	}
+	if st, err := srv.eng.Snapshot(); err == nil {
+		if st.IndexReady() {
+			ms.Index = "built"
+		} else {
+			ms.Index = "lazy"
+		}
+	}
+	return ms
+}
+
+// listBody is the GET /models response.
+type listBody struct {
+	Default string        `json:"default"`
+	Models  []modelStatus `json:"models"`
+}
+
+// handleList answers GET /models with every model's live status.
+func (r *Registry) handleList(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeErr(w, fmt.Errorf("%w: %s", errMethod, req.Method))
+		return
+	}
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	servers := make([]*Server, len(names))
+	for i, n := range names {
+		servers[i] = r.models[n]
+	}
+	r.mu.RUnlock()
+	body := listBody{Default: r.Default(), Models: make([]modelStatus, 0, len(names))}
+	for i, n := range names {
+		body.Models = append(body.Models, r.statusFor(n, servers[i]))
+	}
+	sort.SliceStable(body.Models, func(i, j int) bool { return body.Models[i].Name < body.Models[j].Name })
+	writeJSON(w, http.StatusOK, body)
+}
+
+// ServeHTTP routes requests: /models lists, /models/{name}/… hits the
+// named model, anything else is the legacy single-model surface and
+// goes to the default model's own mux byte-for-byte.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	path := req.URL.Path
+	if path == "/models" || path == "/models/" {
+		r.handleList(w, req)
+		return
+	}
+	if rest, ok := strings.CutPrefix(path, "/models/"); ok {
+		name, sub, _ := strings.Cut(rest, "/")
+		srv, found := r.Get(name)
+		if !found {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("serve: unknown model %q", name)})
+			return
+		}
+		if sub == "" || sub == "healthz" {
+			// Per-model health: the extended status body (a superset of
+			// the legacy /healthz fields, plus index residency), also
+			// served at the bare /models/{name}.
+			if req.Method != http.MethodGet {
+				writeErr(w, fmt.Errorf("%w: %s", errMethod, req.Method))
+				return
+			}
+			writeJSON(w, http.StatusOK, r.statusFor(name, srv))
+			return
+		}
+		for _, e := range perModelEndpoints {
+			if e.Pattern == "/"+sub {
+				// Hand the request to the model's own mux under the
+				// unprefixed spelling; a shallow copy keeps the caller's
+				// request (and its URL) untouched.
+				req2 := new(http.Request)
+				*req2 = *req
+				u2 := *req.URL
+				u2.Path = e.Pattern
+				req2.URL = &u2
+				srv.ServeHTTP(w, req2)
+				return
+			}
+		}
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("serve: unknown endpoint %q for model %q", sub, name)})
+		return
+	}
+	def := r.Default()
+	if def == "" {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "serve: no models registered"})
+		return
+	}
+	srv, _ := r.Get(def)
+	srv.ServeHTTP(w, req)
+}

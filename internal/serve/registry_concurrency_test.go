@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestRegistryIsolationUnderFailingReload is the registry concurrency
+// suite (the multi-model extension of PR 3's reload-under-load
+// harness): clients hammer model A's endpoints — prefixed and legacy
+// — while model B suffers a storm of reloads, half of them failing on
+// a missing checkpoint. Per-model isolation demands that A sees zero
+// errors and byte-for-byte unchanged answers throughout, that B's bad
+// reloads come back as clean 500s, and that both models are fully
+// live afterwards with A's snapshot version untouched.
+func TestRegistryIsolationUnderFailingReload(t *testing.T) {
+	ds := testDataset(t, false)
+	dir := t.TempDir()
+	ckptA := trainAndSave(t, ds, 1, dir)
+	ckptB := trainAndSave(t, ds, 2, dir)
+
+	reg := NewRegistry()
+	defer reg.Close()
+	srvA, err := reg.Add("a", ds, Options{Workers: 2, ANNEf: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := reg.Add("b", ds, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srvA.Load(ckptA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srvB.Load(ckptB); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(reg)
+	defer ts.Close()
+
+	// Baseline answers for model A, captured before any reload storm.
+	queries := []string{
+		"/models/a/embed?ids=0,5",
+		"/models/a/predict?ids=1,2",
+		"/models/a/topk?id=0&k=4",
+		"/models/a/topk?id=3&k=3&mode=ann&ef=16",
+		"/topk?id=0&k=4", // legacy route, also model A
+	}
+	baseline := make(map[string]string, len(queries))
+	for _, q := range queries {
+		code, body := getBody(t, ts.URL+q)
+		if code != 200 {
+			t.Fatalf("baseline %s = %d", q, code)
+		}
+		baseline[q] = string(body)
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(i+g)%len(queries)]
+				resp, err := http.Get(ts.URL + q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("model A during B's reloads: %s = %d %s", q, resp.StatusCode, body)
+					return
+				}
+				if string(body) != baseline[q] {
+					errs <- fmt.Errorf("model A answer changed during B's reloads: %s\n was: %s\n now: %s",
+						q, baseline[q], body)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// The reload storm against model B: good, then failing, repeatedly.
+	for i := 0; i < 6; i++ {
+		status, _, _ := doReq(t, "POST", ts.URL+"/models/b/reload", "")
+		if status != 200 {
+			t.Fatalf("good reload of b #%d = %d", i, status)
+		}
+		status, msg, isJSON := doReq(t, "POST", ts.URL+"/models/b/reload", `{"path": "/nope.ckpt"}`)
+		if status != http.StatusInternalServerError || !isJSON || msg == "" {
+			t.Fatalf("bad reload of b #%d = %d %q (json %v)", i, status, msg, isJSON)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// A's snapshot never moved; B advanced by the 6 good reloads plus
+	// 6 failed Loads that must not have bumped its version.
+	stA, _ := srvA.Engine().Snapshot()
+	stB, _ := srvB.Engine().Snapshot()
+	if stA.Version != 1 {
+		t.Errorf("model A version after B's reload storm = %d, want 1", stA.Version)
+	}
+	if stB.Version != 7 {
+		t.Errorf("model B version = %d, want 7 (1 load + 6 good reloads)", stB.Version)
+	}
+	// Note: a failing /reload with an explicit path leaves B's
+	// remembered checkpoint untouched only if Load rejects before
+	// remembering — pin that too.
+	if got := srvB.CheckpointPath(); got != ckptB {
+		t.Errorf("model B checkpoint path after failed reloads = %q, want %q", got, ckptB)
+	}
+	for _, q := range append(queries, "/models/b/topk?id=0&k=3") {
+		if code, _ := getBody(t, ts.URL+q); code != 200 {
+			t.Errorf("post-storm %s = %d", q, code)
+		}
+	}
+}

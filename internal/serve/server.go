@@ -41,6 +41,71 @@ type Server struct {
 
 	mu       sync.Mutex
 	ckptPath string
+
+	// swapMu serializes whole /reload sequences (artifact retarget →
+	// load → rollback on failure) so concurrent reloads cannot
+	// interleave their retargets and restores. It is never taken on
+	// the query or health paths.
+	swapMu sync.Mutex
+}
+
+// RouteDoc names one registered HTTP route: the methods it accepts
+// and its path pattern ({name} marks the model-name segment of
+// registry routes).
+type RouteDoc struct {
+	Methods string
+	Pattern string
+}
+
+// perModelEndpoints enumerates the per-model endpoints. Each is
+// served twice: unprefixed against the default model (the PR 2–4
+// single-model surface, byte-compatible) and as /models/{name}/…
+// through a Registry. NewServer registers handlers from this table
+// and RegisteredRoutes derives the documented route list from it, so
+// an endpoint cannot be added without showing up in docs/API.md (the
+// coverage test in docs_test.go enforces the link).
+var perModelEndpoints = []RouteDoc{
+	{"GET, POST", "/embed"},
+	{"GET, POST", "/predict"},
+	{"GET", "/topk"},
+	{"GET", "/healthz"},
+	{"POST", "/reload"},
+}
+
+// RegisteredRoutes returns every HTTP route a Registry-fronted
+// process serves: the registry's own endpoints plus both spellings of
+// each per-model endpoint. docs/API.md must document all of them.
+func RegisteredRoutes() []RouteDoc {
+	routes := []RouteDoc{
+		{"GET", "/models"},
+		// The bare model path is an alias for …/healthz (the extended
+		// per-model status body).
+		{"GET", "/models/{name}"},
+	}
+	for _, e := range perModelEndpoints {
+		routes = append(routes, RouteDoc{e.Methods, "/models/{name}" + e.Pattern})
+	}
+	for _, e := range perModelEndpoints {
+		routes = append(routes, e)
+	}
+	return routes
+}
+
+// handlerFor maps an endpoint pattern to its handler on s.
+func (s *Server) handlerFor(pattern string) http.HandlerFunc {
+	switch pattern {
+	case "/embed":
+		return s.handleEmbed
+	case "/predict":
+		return s.handlePredict
+	case "/topk":
+		return s.handleTopK
+	case "/healthz":
+		return s.handleHealthz
+	case "/reload":
+		return s.handleReload
+	}
+	panic("serve: endpoint " + pattern + " has no handler")
 }
 
 // NewServer builds a server over ds. No checkpoint is loaded yet;
@@ -49,11 +114,9 @@ func NewServer(ds *datasets.Dataset, opts Options) *Server {
 	eng := NewEngine(ds, opts)
 	s := &Server{eng: eng, bat: newBatcher(eng, eng.opts.MaxBatch)}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/embed", s.handleEmbed)
-	mux.HandleFunc("/predict", s.handlePredict)
-	mux.HandleFunc("/topk", s.handleTopK)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/reload", s.handleReload)
+	for _, e := range perModelEndpoints {
+		mux.HandleFunc(e.Pattern, s.handlerFor(e.Pattern))
+	}
 	s.mux = mux
 	return s
 }
@@ -84,6 +147,14 @@ func (s *Server) Reload() (uint64, error) {
 		return 0, fmt.Errorf("serve: no checkpoint path to reload")
 	}
 	return s.eng.LoadCheckpoint(path)
+}
+
+// CheckpointPath returns the checkpoint the server last loaded
+// (empty before the first Load).
+func (s *Server) CheckpointPath() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckptPath
 }
 
 // Close stops the micro-batch dispatcher.
@@ -257,7 +328,12 @@ type healthBody struct {
 	Coalescing   float64 `json:"coalescing"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// health assembles the single-model health body. It is the one
+// source of truth for both the legacy /healthz response and the
+// per-model extended status (modelStatus embeds healthBody), so the
+// documented "per-model healthz is a superset of legacy /healthz"
+// invariant holds by construction.
+func (s *Server) health() healthBody {
 	body := healthBody{
 		Status:   "loading",
 		Vertices: s.eng.ds.G.NumVertices(),
@@ -276,7 +352,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if body.Batches > 0 {
 		body.Coalescing = float64(body.Queries) / float64(body.Batches)
 	}
-	writeJSON(w, http.StatusOK, body)
+	return body
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -286,12 +366,34 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	var body struct {
 		Path string `json:"path"`
+		// Artifact retargets the warm-start source for this and all
+		// subsequent reloads before the new snapshot is built: a string
+		// points at a new artifact file, "" disables the warm path. When
+		// the field is absent the configured source is kept, so a plain
+		// {"path": …} reload behaves exactly as before.
+		Artifact *string `json:"artifact"`
 	}
 	if r.Body != nil && r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 			writeErr(w, fmt.Errorf("serve: bad JSON body: %w", err))
 			return
 		}
+	}
+	// Retarget the warm-start source before building the new snapshot
+	// (the retarget is what the load should warm from), but restore it
+	// if the load fails: a 500 reload must leave every piece of
+	// serving state — snapshot, checkpoint path, artifact source —
+	// exactly as it was. swapMu makes the retarget+load+rollback
+	// sequence atomic against other /reload requests, so a failing
+	// reload's rollback can never clobber a concurrent reload's
+	// freshly set source.
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	restoreArtifact := func() {}
+	if body.Artifact != nil {
+		prev := s.eng.ArtifactPath()
+		s.eng.SetArtifactPath(*body.Artifact)
+		restoreArtifact = func() { s.eng.SetArtifactPath(prev) }
 	}
 	var (
 		v   uint64
@@ -303,12 +405,26 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		v, err = s.Reload()
 	}
 	if err != nil {
+		restoreArtifact()
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
+	// Answer from the snapshot the reload just installed — including
+	// its warm-start outcome, so a reload that switched artifacts (or
+	// lost one) reports the state /healthz will now show.
 	st, _ := s.eng.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]uint64{
-		"version":       v,
-		"model_version": st.ModelVersion,
+	writeJSON(w, http.StatusOK, reloadBody{
+		Version:      v,
+		ModelVersion: st.ModelVersion,
+		WarmStart:    st.WarmStart,
+		WarmNote:     st.WarmNote,
 	})
+}
+
+// reloadBody is the successful /reload response.
+type reloadBody struct {
+	Version      uint64 `json:"version"`
+	ModelVersion uint64 `json:"model_version"`
+	WarmStart    bool   `json:"warm_start"`
+	WarmNote     string `json:"warm_note,omitempty"`
 }

@@ -186,13 +186,16 @@ func TestServerReloadSwapsVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rl map[string]uint64
+	var rl reloadBody
 	if err := json.NewDecoder(resp.Body).Decode(&rl); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != 200 || rl["version"] != 2 {
-		t.Fatalf("reload = %d %v", resp.StatusCode, rl)
+	if resp.StatusCode != 200 || rl.Version != 2 {
+		t.Fatalf("reload = %d %+v", resp.StatusCode, rl)
+	}
+	if rl.WarmStart {
+		t.Errorf("artifact-less reload reports warm_start: %+v", rl)
 	}
 
 	// Bodyless POST /reload re-reads the last path (now ckpt2).

@@ -1,0 +1,95 @@
+// Command pkgdoc-lint enforces the repository's documentation floor:
+// every Go package in the module — the public library, every
+// internal/* package, every cmd/* binary and every example — must
+// carry a package (godoc) comment attached to a package clause. It
+// walks the tree, parses only package clauses and their doc comments,
+// and fails listing the offenders. `make lint` runs it, so a new
+// package cannot land undocumented.
+//
+// Usage: pkgdoc-lint [root]   (root defaults to ".")
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	dirs := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "bin", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pkgdoc-lint:", err)
+		os.Exit(2)
+	}
+
+	var bad []string
+	for dir := range dirs {
+		ok, err := hasPackageDoc(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pkgdoc-lint:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			bad = append(bad, dir)
+		}
+	}
+	sort.Strings(bad)
+	if len(bad) > 0 {
+		fmt.Fprintln(os.Stderr, "pkgdoc-lint: packages without a package comment:")
+		for _, d := range bad {
+			fmt.Fprintln(os.Stderr, "  "+d)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("pkgdoc-lint: %d packages documented\n", len(dirs))
+}
+
+// hasPackageDoc reports whether any non-test .go file in dir carries
+// a non-empty doc comment on its package clause.
+func hasPackageDoc(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, nil
+		}
+	}
+	return false, nil
+}

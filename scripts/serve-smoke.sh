@@ -152,4 +152,65 @@ if ! curl -s "$base/healthz" | grep -q '"warm_start":true'; then
     echo "serve-smoke: reload lost the warm start" >&2; exit 1
 fi
 
+echo "== train second model (for the multi-model phase)"
+"$BIN/gsgcn-train" -data "$TMP/g.gsg" -epochs 1 -hidden 16 -seed 7 -save "$TMP/m2.ckpt" >/dev/null
+
+echo "== serve (multi-model: warm prod + cold canary in one process)"
+stop_server
+start_server -data "$TMP/g.gsg" \
+    -model "prod=$TMP/m.ckpt,artifact=$TMP/m.ckpt.art,ann=true" \
+    -model "canary=$TMP/m2.ckpt"
+
+check "/models" "default"
+check "/models/prod/healthz" "checkpoint"
+check "/models/prod/embed?ids=0,1" "embeddings"
+check "/models/canary/predict?ids=0,1" "labels"
+check "/models/canary/topk?id=0&k=3" "neighbors"
+
+# Per-model warm state: prod restarted from the artifact, canary cold.
+if ! curl -s "$base/models/prod/healthz" | grep -q '"warm_start":true'; then
+    echo "serve-smoke: multi-model prod is not warm:" >&2
+    curl -s "$base/models/prod/healthz" >&2; exit 1
+fi
+if ! curl -s "$base/models/canary/healthz" | grep -q '"warm_start":false'; then
+    echo "serve-smoke: multi-model canary claims a warm start" >&2; exit 1
+fi
+
+# prod is the default model: the legacy unprefixed routes and the
+# prefixed spelling must both answer byte-identically to the
+# dedicated single-model server's answers captured above.
+for q in $topk_queries; do
+    f="$TMP/cold$(printf '%s' "$q" | tr '/?&=' '____')"
+    curl -s "$base$q" > "$f.multi"
+    if ! cmp -s "$f" "$f.multi"; then
+        echo "serve-smoke: multi-model legacy $q differs from single-model:" >&2
+        diff "$f" "$f.multi" >&2 || true
+        exit 1
+    fi
+    curl -s "$base/models/prod$q" > "$f.multip"
+    if ! cmp -s "$f" "$f.multip"; then
+        echo "serve-smoke: /models/prod$q differs from single-model:" >&2
+        diff "$f" "$f.multip" >&2 || true
+        exit 1
+    fi
+done
+
+# Per-model reload: canary bumps to version 2, prod stays at 1.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/models/canary/reload")
+if [ "$code" != 200 ]; then
+    echo "serve-smoke: POST /models/canary/reload returned $code" >&2; exit 1
+fi
+if ! curl -s "$base/models/canary/healthz" | grep -q '"version":2'; then
+    echo "serve-smoke: canary reload did not advance its version" >&2; exit 1
+fi
+if ! curl -s "$base/models/prod/healthz" | grep -q '"version":1'; then
+    echo "serve-smoke: canary reload disturbed prod's version" >&2; exit 1
+fi
+
+# Unknown model names come back as clean 404s.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/models/nope/embed?ids=0")
+if [ "$code" != 404 ]; then
+    echo "serve-smoke: unknown model returned $code, want 404" >&2; exit 1
+fi
+
 echo "serve-smoke: OK"
