@@ -47,6 +47,8 @@ func main() {
 		index   = flag.Bool("index", true, "include the HNSW index (false = embeddings only)")
 		annM    = flag.Int("ann-m", 0, "HNSW connectivity, must match the server's -ann-m (0 = 16)")
 		annEf   = flag.Int("ann-ef", 0, "default query beam width stored with the index (0 = 64)")
+		shards  = flag.Int("shards", 0, "build per-shard artifacts for an N-shard serving fleet: -out becomes the base path, shard i lands at <out>.s<i>ofN (0 or 1 = one whole-graph artifact)")
+		shSeed  = flag.Uint64("shard-seed", 0, "seed keying the vertex-shard assignment (must match gsgcn-serve -shard-seed)")
 	)
 	flag.Parse()
 	if *load == "" {
@@ -78,31 +80,42 @@ func main() {
 	fmt.Printf("%s: |V|=%d |E|=%d, model_version %d\n",
 		ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), m.ModelVersion)
 
-	start := time.Now()
-	snap, err := gsgcn.BuildServingArtifact(ds, m, gsgcn.ServeOptions{
+	opts := gsgcn.ServeOptions{
 		Workers: *workers, BlockSize: *block, ANNM: *annM, ANNEf: *annEf,
-	}, *index)
+	}
+	nShards := *shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	start := time.Now()
+	snaps, err := gsgcn.BuildShardServingArtifacts(ds, m, opts, *index, nShards, *shSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gsgcn-index:", err)
 		os.Exit(1)
 	}
 	built := time.Since(start)
 
-	sum, err := gsgcn.WriteServingArtifact(*out, snap)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gsgcn-index:", err)
-		os.Exit(1)
+	for i, snap := range snaps {
+		path := *out
+		if nShards > 1 {
+			path = gsgcn.ShardArtifactPath(*out, i, nShards)
+		}
+		sum, err := gsgcn.WriteServingArtifact(path, snap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gsgcn-index:", err)
+			os.Exit(1)
+		}
+		mfPath, err := gsgcn.WriteArtifactManifest(path, *load, snap, sum)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gsgcn-index:", err)
+			os.Exit(1)
+		}
+		info, _ := os.Stat(path)
+		size := int64(0)
+		if info != nil {
+			size = info.Size()
+		}
+		fmt.Printf("wrote %s (%d bytes, crc64 %016x, computed in %v) + %s\n",
+			path, size, sum, built.Round(time.Millisecond), mfPath)
 	}
-	mfPath, err := gsgcn.WriteArtifactManifest(*out, *load, snap, sum)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gsgcn-index:", err)
-		os.Exit(1)
-	}
-	info, _ := os.Stat(*out)
-	size := int64(0)
-	if info != nil {
-		size = info.Size()
-	}
-	fmt.Printf("wrote %s (%d bytes, crc64 %016x, computed in %v) + %s\n",
-		*out, size, sum, built.Round(time.Millisecond), mfPath)
 }

@@ -12,6 +12,15 @@
 //	POST /reload                hot-swap checkpoint (and artifact)
 //	GET  /models                per-model status listing
 //	*    /models/{name}/…       any endpoint above, per model
+//	GET  /shards                per-shard status (sharded models)
+//	POST /shards/{i}/stop       take one shard down (degraded, not dead)
+//	POST /shards/{i}/start      bring it back, bit-exact
+//
+// With -shards N each model is served as N vertex shards behind a
+// scatter-gather router: queries fan out to the owning shards and the
+// merged exact answers are byte-identical to the unsharded server at
+// every shard count. Per-shard warm-start artifacts come from
+// gsgcn-index -shards (the -artifact flag then names the base path).
 //
 // SIGHUP hot-reloads every model's checkpoint file; in-flight
 // requests finish against the snapshot they started with.
@@ -24,8 +33,9 @@
 // Multiple models, one per -model flag (first one is the default
 // unless -default says otherwise). The value is name=checkpoint
 // followed by optional comma-separated key=value settings — data,
-// artifact, ann, ann-m, ann-ef, workers, block, batch — which fall
-// back to the matching global flags when absent:
+// artifact, ann, ann-m, ann-ef, workers, block, batch, shards,
+// shard-seed — which fall back to the matching global flags when
+// absent:
 //
 //	gsgcn-serve -data g.gsg \
 //	    -model prod=prod.ckpt,artifact=prod.ckpt.art,ann=true \
@@ -73,6 +83,8 @@ type modelSpec struct {
 	// share one in-memory graph.
 	Data string `json:"data"`
 	// Artifact warm-starts this model ("auto" tries checkpoint+".art").
+	// For a sharded model it is the artifact base path; shard i warms
+	// from <base>.s<i>of<N> (gsgcn-index -shards output).
 	Artifact string `json:"artifact"`
 	ANN      bool   `json:"ann"`
 	ANNM     int    `json:"ann_m"`
@@ -80,6 +92,11 @@ type modelSpec struct {
 	Workers  int    `json:"workers"`
 	Block    int    `json:"block"`
 	Batch    int    `json:"batch"`
+	// Shards > 1 serves the model as a sharded fleet behind a
+	// scatter-gather router; ShardSeed keys the deterministic
+	// vertex-shard assignment and must match the artifact build.
+	Shards    int    `json:"shards"`
+	ShardSeed uint64 `json:"shard_seed"`
 }
 
 // fleetConfig is the -config file schema.
@@ -167,6 +184,10 @@ func parseModelFlag(v string, def modelSpec) (modelSpec, error) {
 			spec.Block, err = strconv.Atoi(val)
 		case "batch":
 			spec.Batch, err = strconv.Atoi(val)
+		case "shards":
+			spec.Shards, err = strconv.Atoi(val)
+		case "shard-seed":
+			spec.ShardSeed, err = strconv.ParseUint(val, 10, 64)
 		default:
 			return spec, fmt.Errorf("-model %q: unknown setting %q", v, key)
 		}
@@ -200,14 +221,17 @@ func main() {
 		annM    = flag.Int("ann-m", 0, "HNSW connectivity: links per vertex per layer, 2x on the base layer (0 = 16)")
 		annEf   = flag.Int("ann-ef", 0, "default HNSW query beam width; higher = better recall, slower (0 = 64)")
 		art     = flag.String("artifact", "", "snapshot artifact (gsgcn-index output) to warm-start from; \"auto\" tries <load>.art; mismatch or absence falls back to the full compute")
+		shards  = flag.Int("shards", 0, "serve each model as N vertex shards behind a scatter-gather router (0 or 1 = unsharded)")
+		shSeed  = flag.Uint64("shard-seed", 0, "seed keying the deterministic vertex-shard assignment (must match gsgcn-index -shard-seed)")
 	)
-	flag.Var(&models, "model", "serve an extra model: name=checkpoint[,data=…][,artifact=…][,ann=…][,ann-m=…][,ann-ef=…][,workers=…][,block=…][,batch=…] (repeatable; first is the default model)")
+	flag.Var(&models, "model", "serve an extra model: name=checkpoint[,data=…][,artifact=…][,ann=…][,ann-m=…][,ann-ef=…][,workers=…][,block=…][,batch=…][,shards=…][,shard-seed=…] (repeatable; first is the default model)")
 	flag.Parse()
 
 	// Global flags double as the per-model defaults.
 	defaults := modelSpec{
 		Artifact: *art, ANN: *annOn, ANNM: *annM, ANNEf: *annEf,
 		Workers: *workers, Block: *block, Batch: *batch,
+		Shards: *shards, ShardSeed: *shSeed,
 	}
 
 	var specs []modelSpec
@@ -285,19 +309,33 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		srv, err := reg.Add(spec.Name, ds, gsgcn.ServeOptions{
+		opts := gsgcn.ServeOptions{
 			Workers: spec.Workers, BlockSize: spec.Block, MaxBatch: spec.Batch,
 			ANN: spec.ANN, ANNM: spec.ANNM, ANNEf: spec.ANNEf,
 			ArtifactPath: spec.Artifact,
-		})
-		if err != nil {
-			fatal(err)
+		}
+		var (
+			ms  gsgcn.ModelServer
+			eng *gsgcn.InferenceEngine
+		)
+		if spec.Shards > 1 {
+			rt, err := reg.AddSharded(spec.Name, ds, opts, spec.Shards, spec.ShardSeed)
+			if err != nil {
+				fatal(err)
+			}
+			ms, eng = rt, rt.Engine(0)
+		} else {
+			srv, err := reg.Add(spec.Name, ds, opts)
+			if err != nil {
+				fatal(err)
+			}
+			ms, eng = srv, srv.Engine()
 		}
 		start := time.Now()
-		if _, err := srv.Load(spec.Checkpoint); err != nil {
+		if _, err := ms.Load(spec.Checkpoint); err != nil {
 			fatal(fmt.Errorf("model %q: %w", spec.Name, err))
 		}
-		st, _ := srv.Engine().Snapshot()
+		st, _ := eng.Snapshot()
 		how := "computed"
 		if st.WarmStart {
 			how = "warm-started from " + spec.Artifact
@@ -305,8 +343,12 @@ func main() {
 			log.Printf("model %q: artifact %s unusable (%s), fell back to the full compute",
 				spec.Name, spec.Artifact, st.WarmNote)
 		}
-		log.Printf("model %q: serving %s (model_version %d, embedding dim %d, %s in %v)",
-			spec.Name, spec.Checkpoint, st.ModelVersion, st.Dim(), how,
+		shape := "serving"
+		if spec.Shards > 1 {
+			shape = fmt.Sprintf("serving %d shards of", spec.Shards)
+		}
+		log.Printf("model %q: %s %s (model_version %d, embedding dim %d, %s in %v)",
+			spec.Name, shape, spec.Checkpoint, st.ModelVersion, st.Dim(), how,
 			time.Since(start).Round(time.Millisecond))
 	}
 	if wantDefault != "" {
@@ -320,30 +362,63 @@ func main() {
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
-	go func() {
-		for sig := range sigs {
-			if sig == syscall.SIGHUP {
-				for _, name := range reg.Names() {
-					srv, _ := reg.Get(name)
-					v, err := srv.Reload()
-					if err != nil {
-						log.Printf("model %q: reload failed: %v", name, err)
-						continue
-					}
-					log.Printf("model %q: hot-reloaded as version %d", name, v)
-				}
-				continue
-			}
-			log.Printf("shutting down on %v", sig)
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			httpSrv.Shutdown(ctx)
-			cancel()
-			return
-		}
-	}()
+	done := make(chan struct{})
+	go handleSignals(sigs, httpSrv, reg, 10*time.Second, done)
 
 	log.Printf("listening on %s", *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
+	}
+	// ListenAndServe returns the moment Shutdown closes the listener —
+	// while in-flight requests are still draining. Wait for the signal
+	// handler to finish the drain and close the registry before exiting.
+	<-done
+}
+
+// handleSignals is the process lifecycle loop: SIGHUP hot-reloads the
+// whole fleet, SIGINT/SIGTERM drains and exits. It closes done when
+// shutdown is fully sequenced.
+//
+// The shutdown order is load-bearing: Shutdown must finish (all
+// in-flight requests drained, or the timeout expired) before
+// reg.Close stops the micro-batch dispatchers — closing them first
+// would answer still-draining requests with spurious 503s. Its error
+// is logged, not dropped: a deadline expiry means requests really
+// were cut off, and silence there cost us a dropped-work bug.
+func handleSignals(sigs <-chan os.Signal, httpSrv *http.Server, reg *gsgcn.ModelRegistry, drainTimeout time.Duration, done chan<- struct{}) {
+	defer close(done)
+	for sig := range sigs {
+		if sig == syscall.SIGHUP {
+			reloadFleet(reg)
+			continue
+		}
+		log.Printf("shutting down on %v", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		err := httpSrv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("shutdown: %v (in-flight requests may have been dropped)", err)
+		}
+		reg.Close()
+		return
+	}
+}
+
+// reloadFleet hot-reloads every model and logs the aggregate outcome:
+// each failure individually (that model keeps serving its previous
+// snapshot untouched), then the fleet-level tally. One model's
+// corrupt checkpoint never stops the others from advancing.
+func reloadFleet(reg *gsgcn.ModelRegistry) {
+	names := reg.Names()
+	failures := reg.ReloadAll()
+	for _, name := range names {
+		if err, failed := failures[name]; failed {
+			log.Printf("model %q: reload failed, still serving the previous snapshot: %v", name, err)
+		} else {
+			log.Printf("model %q: hot-reloaded", name)
+		}
+	}
+	if len(failures) > 0 {
+		log.Printf("fleet reload: %d of %d models failed", len(failures), len(names))
 	}
 }

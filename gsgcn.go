@@ -69,10 +69,19 @@ type (
 	// /embed /predict /topk /healthz /reload) over an InferenceEngine.
 	InferenceServer = serve.Server
 	// ModelRegistry serves several independent models from one process:
-	// each registered model is a full InferenceServer reached as
-	// /models/{name}/…, with the unprefixed routes answering from a
-	// configured default model. See docs/API.md for the HTTP surface.
+	// each registered model is a full InferenceServer (or a sharded
+	// ShardedServer) reached as /models/{name}/…, with the unprefixed
+	// routes answering from a configured default model. See docs/API.md
+	// for the HTTP surface.
 	ModelRegistry = serve.Registry
+	// ModelServer is what the registry requires of one registered
+	// model; both InferenceServer and ShardedServer implement it.
+	ModelServer = serve.ModelServer
+	// ShardedServer is the scatter-gather router over N vertex-shard
+	// engines: the same HTTP surface as InferenceServer (plus /shards
+	// operations), with exact-mode answers byte-identical to a single
+	// process at every shard count.
+	ShardedServer = serve.Router
 	// ServingArtifact is a decoded snapshot artifact: precomputed
 	// full-graph embedding table, norms and (optionally) the
 	// deterministic HNSW index, with the metadata to validate them
@@ -89,6 +98,22 @@ type (
 // deterministic HNSW index with the parameters opts implies.
 func BuildServingArtifact(ds *Dataset, m *Model, opts ServeOptions, withIndex bool) (*ServingArtifact, error) {
 	return serve.BuildSnapshot(ds, m, opts, withIndex)
+}
+
+// BuildShardServingArtifacts computes the per-shard artifacts of an
+// N-shard serving fleet: one whole-graph table pass, compacted to
+// each shard's seed-keyed owned rows, each with its own HNSW index
+// when withIndex is set. Write shard i's snapshot to
+// ShardArtifactPath(base, i, shards) for a sharded server started
+// with ServeOptions.ArtifactPath = base to warm-start from.
+func BuildShardServingArtifacts(ds *Dataset, m *Model, opts ServeOptions, withIndex bool, shards int, shardSeed uint64) ([]*ServingArtifact, error) {
+	return serve.BuildShardSnapshots(ds, m, opts, withIndex, shards, shardSeed)
+}
+
+// ShardArtifactPath is the conventional file path of one shard's
+// artifact under a fleet-wide base path: <base>.s<i>of<N>.
+func ShardArtifactPath(base string, shard, shards int) string {
+	return artifact.ShardPath(base, shard, shards)
 }
 
 // WriteServingArtifact atomically writes a serving artifact to path
@@ -157,6 +182,15 @@ func NewInferenceEngine(ds *Dataset, opts ServeOptions) *InferenceEngine {
 // Call Load with a checkpoint path, then mount it as an http.Handler.
 func NewInferenceServer(ds *Dataset, opts ServeOptions) *InferenceServer {
 	return serve.NewServer(ds, opts)
+}
+
+// NewShardedServer builds a sharded serving fleet over ds: shards
+// engines each owning a deterministic, seed-keyed subset of the
+// vertices, behind a scatter-gather router with the InferenceServer
+// HTTP surface. Call Load with a checkpoint path, then mount it as an
+// http.Handler (or register it in a ModelRegistry with AddSharded).
+func NewShardedServer(ds *Dataset, opts ServeOptions, shards int, seed uint64) (*ShardedServer, error) {
+	return serve.NewRouter(ds, opts, shards, seed)
 }
 
 // NewModelRegistry returns an empty multi-model serving registry.

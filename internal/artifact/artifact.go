@@ -75,6 +75,45 @@ type Meta struct {
 	Edges      int64  `json:"edges"`
 	FeatureDim int    `json:"feature_dim"`
 	Dim        int    `json:"dim"`
+
+	// Shards/Shard/ShardSeed identify a vertex-sharded artifact: this
+	// file carries only the embedding rows owned by shard Shard of a
+	// Shards-way split under ShardSeed (partition.ShardMap), stored in
+	// ascending owned-id order. ShardRows is the owned-row count — the
+	// actual table height of this file; Vertices stays the full graph's
+	// vertex count. Zero Shards means an unsharded full table (the PR 4
+	// format, byte-identical: the fields marshal away under omitempty).
+	Shards    int    `json:"shards,omitempty"`
+	Shard     int    `json:"shard,omitempty"`
+	ShardSeed uint64 `json:"shard_seed,omitempty"`
+	ShardRows int    `json:"shard_rows,omitempty"`
+}
+
+// rows returns the embedding-table height this meta declares: the
+// owned-row count for a shard artifact, the full vertex count
+// otherwise.
+func (m Meta) rows() int {
+	if m.Shards > 0 {
+		return m.ShardRows
+	}
+	return m.Vertices
+}
+
+// validateShard checks the shard fields' internal consistency.
+func (m Meta) validateShard() error {
+	if m.Shards == 0 {
+		if m.Shard != 0 || m.ShardSeed != 0 || m.ShardRows != 0 {
+			return fmt.Errorf("artifact: unsharded meta carries shard fields %d/%d/%d", m.Shard, m.ShardSeed, m.ShardRows)
+		}
+		return nil
+	}
+	if m.Shards < 0 || m.Shard < 0 || m.Shard >= m.Shards {
+		return fmt.Errorf("artifact: shard %d of %d is out of range", m.Shard, m.Shards)
+	}
+	if m.ShardRows < 0 || m.ShardRows > m.Vertices {
+		return fmt.Errorf("artifact: shard declares %d rows of %d vertices", m.ShardRows, m.Vertices)
+	}
+	return nil
 }
 
 // Snapshot is a decoded artifact: the precomputed serving tables plus
@@ -91,12 +130,16 @@ type Snapshot struct {
 // to equal bytes (Meta marshals with fixed field order, the tables and
 // index are fixed-layout binary).
 func Encode(s *Snapshot) ([]byte, error) {
-	if s.Emb.Rows != s.Meta.Vertices || s.Emb.Cols != s.Meta.Dim {
-		return nil, fmt.Errorf("artifact: table is %dx%d, meta declares %dx%d",
-			s.Emb.Rows, s.Emb.Cols, s.Meta.Vertices, s.Meta.Dim)
+	if err := s.Meta.validateShard(); err != nil {
+		return nil, err
 	}
-	if len(s.Norms) != s.Meta.Vertices {
-		return nil, fmt.Errorf("artifact: %d norms for %d vertices", len(s.Norms), s.Meta.Vertices)
+	rows := s.Meta.rows()
+	if s.Emb.Rows != rows || s.Emb.Cols != s.Meta.Dim {
+		return nil, fmt.Errorf("artifact: table is %dx%d, meta declares %dx%d",
+			s.Emb.Rows, s.Emb.Cols, rows, s.Meta.Dim)
+	}
+	if len(s.Norms) != rows {
+		return nil, fmt.Errorf("artifact: %d norms for %d rows", len(s.Norms), rows)
 	}
 	header, err := json.Marshal(s.Meta)
 	if err != nil {
@@ -107,8 +150,8 @@ func Encode(s *Snapshot) ([]byte, error) {
 	}
 	var idxBlob []byte
 	if s.Index != nil {
-		if s.Index.Len() != s.Meta.Vertices {
-			return nil, fmt.Errorf("artifact: index covers %d vertices, meta declares %d", s.Index.Len(), s.Meta.Vertices)
+		if s.Index.Len() != rows {
+			return nil, fmt.Errorf("artifact: index covers %d rows, meta declares %d", s.Index.Len(), rows)
 		}
 		idxBlob = s.Index.EncodeBinary()
 		// The on-disk length prefix is u32; silently wrapping it would
@@ -191,21 +234,25 @@ func DecodeVerified(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("artifact: header declares a %dx%d table, caps %d/%d",
 			meta.Vertices, meta.Dim, maxVertices, maxDim)
 	}
+	if err := meta.validateShard(); err != nil {
+		return nil, err
+	}
+	rows := meta.rows()
 	off := 16 + hlen
 	// Size arithmetic in int64: the dim caps alone do not keep
-	// Vertices*Dim inside a 32-bit int, and a wrapped product here
+	// rows*Dim inside a 32-bit int, and a wrapped product here
 	// would defeat the bytes-actually-present check below. The tables
 	// are allocated only after the blob is known to carry them.
-	need := 8 * (int64(meta.Vertices)*int64(meta.Dim) + int64(meta.Vertices))
+	need := 8 * (int64(rows)*int64(meta.Dim) + int64(rows))
 	if int64(off)+need+4 > int64(len(body)) {
 		return nil, fmt.Errorf("artifact: tables need %d bytes, blob carries %d", need+4, len(body)-off)
 	}
-	emb := mat.New(meta.Vertices, meta.Dim)
+	emb := mat.New(rows, meta.Dim)
 	for i := range emb.Data {
 		emb.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off : off+8]))
 		off += 8
 	}
-	norms := make([]float64, meta.Vertices)
+	norms := make([]float64, rows)
 	for i := range norms {
 		norms[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off : off+8]))
 		off += 8
@@ -224,6 +271,15 @@ func DecodeVerified(data []byte) (*Snapshot, error) {
 		snap.Index = idx
 	}
 	return snap, nil
+}
+
+// ShardPath derives the conventional per-shard artifact filename from
+// an unsharded base path: shard 2 of 4 over base "m.ckpt.art" lives at
+// "m.ckpt.art.s2of4". The producer (cmd/gsgcn-index -shards) and every
+// consumer (shard engines resolving their warm-start source) share
+// this one naming rule, so a fleet needs to agree only on the base.
+func ShardPath(base string, shard, shards int) string {
+	return fmt.Sprintf("%s.s%dof%d", base, shard, shards)
 }
 
 // WriteFile atomically writes the snapshot as an artifact file: encode

@@ -211,3 +211,103 @@ func TestEncodeRejectsInconsistentSnapshot(t *testing.T) {
 func crcChecksum(b []byte) uint64 {
 	return crc64.Checksum(b, crcTable)
 }
+
+// shardSnapshot derives a structurally honest sharded snapshot from a
+// testSnapshot: rows rows of the table, labeled as one shard of a
+// vertices-vertex fleet.
+func shardSnapshot(rows, vertices, dim, shard, shards int, seed uint64) *Snapshot {
+	s := testSnapshot(rows, dim, false)
+	s.Meta.Vertices = vertices
+	s.Meta.Shards = shards
+	s.Meta.Shard = shard
+	s.Meta.ShardSeed = seed
+	s.Meta.ShardRows = rows
+	return s
+}
+
+// TestShardMetaRoundTrip pins the sharded artifact format: the shard
+// identity fields survive Encode/Decode exactly, and DecodeVerified
+// accepts a well-formed shard file.
+func TestShardMetaRoundTrip(t *testing.T) {
+	s := shardSnapshot(40, 100, 8, 2, 4, 77)
+	blob, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeVerified(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != s.Meta {
+		t.Fatalf("shard meta round-trip: got %+v, want %+v", got.Meta, s.Meta)
+	}
+	if got.Meta.Shards != 4 || got.Meta.Shard != 2 || got.Meta.ShardSeed != 77 || got.Meta.ShardRows != 40 {
+		t.Fatalf("shard fields mangled: %+v", got.Meta)
+	}
+	if got.Emb.Rows != 40 {
+		t.Fatalf("shard table has %d rows, want the owned 40, not the global 100", got.Emb.Rows)
+	}
+}
+
+// TestShardMetaValidation drives validateShard through Encode: every
+// internally inconsistent shard labeling must be rejected on the
+// write side, before a bad file can exist.
+func TestShardMetaValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		snap *Snapshot
+	}{
+		{"shard-out-of-range", shardSnapshot(40, 100, 8, 4, 4, 1)},
+		{"negative-shard", shardSnapshot(40, 100, 8, -1, 4, 1)},
+		{"negative-shards", func() *Snapshot {
+			s := shardSnapshot(40, 100, 8, 0, 4, 1)
+			s.Meta.Shards = -4
+			return s
+		}()},
+		{"rows-exceed-vertices", shardSnapshot(101, 100, 8, 0, 4, 1)},
+		{"rows-mismatch-table", func() *Snapshot {
+			s := shardSnapshot(40, 100, 8, 0, 4, 1)
+			s.Meta.ShardRows = 39
+			return s
+		}()},
+		{"unsharded-with-shard-fields", func() *Snapshot {
+			s := testSnapshot(40, 8, false)
+			s.Meta.ShardSeed = 9
+			return s
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Encode(tc.snap); err == nil {
+				t.Fatalf("inconsistent shard meta accepted: %+v", tc.snap.Meta)
+			}
+		})
+	}
+}
+
+// TestShardPathFormat pins the per-shard naming convention shared by
+// gsgcn-index (writer) and the serving router (reader): the two sides
+// only meet on disk, so the format is part of the artifact contract.
+func TestShardPathFormat(t *testing.T) {
+	if got, want := ShardPath("m.ckpt.art", 0, 4), "m.ckpt.art.s0of4"; got != want {
+		t.Errorf("ShardPath = %q, want %q", got, want)
+	}
+	if got, want := ShardPath("/models/prod.art", 11, 16), "/models/prod.art.s11of16"; got != want {
+		t.Errorf("ShardPath = %q, want %q", got, want)
+	}
+}
+
+// TestUnshardedHeaderByteCompat pins backward compatibility: an
+// unsharded snapshot's encoded header carries no shard keys at all
+// (they are omitempty), so PR 4 artifacts and the files this release
+// writes for unsharded models are byte-identical.
+func TestUnshardedHeaderByteCompat(t *testing.T) {
+	s := testSnapshot(50, 8, false)
+	hdr, err := json.Marshal(s.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(hdr, []byte("shard")) {
+		t.Fatalf("unsharded meta header mentions shards: %s", hdr)
+	}
+}

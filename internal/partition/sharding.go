@@ -1,0 +1,78 @@
+package partition
+
+// Vertex sharding for the serving tier: the same partitioning idea the
+// paper applies to training-time feature propagation (Section V),
+// lifted to the serving fleet — a graph's vertex set is split across N
+// shard engines, each owning an exclusive subset of the vertices.
+// Ownership must be a pure function of (seed, vertex id) so that every
+// component — the offline artifact builder, each shard engine, and the
+// scatter-gather router — derives the identical assignment
+// independently, across processes and across rebuilds, with nothing to
+// distribute but the (Shards, Seed) pair.
+
+// ShardMap deterministically assigns vertex ids to one of Shards
+// serving shards. The zero Shards value means "unsharded"; callers
+// treat Assign as owning everything in that case.
+type ShardMap struct {
+	// Shards is the shard count N (>= 1 for a sharded deployment).
+	Shards int
+	// Seed keys the assignment hash. Two maps with equal (Shards,
+	// Seed) agree on every vertex; changing Seed reshuffles ownership
+	// wholesale.
+	Seed uint64
+}
+
+// mix is the SplitMix64 finalizer: a full-avalanche bijection on 64
+// bits, so consecutive vertex ids land on uncorrelated shards and the
+// assignment is balanced to within sampling noise at any seed.
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Assign returns the shard owning vertex v, in [0, Shards). A map
+// with Shards <= 1 owns everything on shard 0.
+func (s ShardMap) Assign(v int32) int {
+	if s.Shards <= 1 {
+		return 0
+	}
+	return int(mix(s.Seed^uint64(uint32(v))) % uint64(s.Shards))
+}
+
+// Owned returns, in ascending order, the vertex ids of [0, n) that
+// shard owns. The ascending order is load-bearing: shard engines
+// store their rows in this order, so local row r of shard i is the
+// r-th smallest owned id — a deterministic global↔local mapping every
+// component reconstructs identically.
+func (s ShardMap) Owned(n, shard int) []int32 {
+	out := make([]int32, 0, ownedCap(n, s.Shards))
+	for v := 0; v < n; v++ {
+		if s.Assign(int32(v)) == shard {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// ownedCap sizes the Owned allocation: the expected share plus slack.
+func ownedCap(n, shards int) int {
+	if shards <= 1 {
+		return n
+	}
+	return n/shards + n/(8*shards) + 8
+}
+
+// Counts returns how many of the vertices [0, n) each shard owns.
+func (s ShardMap) Counts(n int) []int {
+	shards := s.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	counts := make([]int, shards)
+	for v := 0; v < n; v++ {
+		counts[s.Assign(int32(v))]++
+	}
+	return counts
+}

@@ -1,0 +1,93 @@
+package partition
+
+import "testing"
+
+// TestShardMapPartitions pins the partition property: every vertex is
+// owned by exactly one shard, and Owned/Assign/Counts agree.
+func TestShardMapPartitions(t *testing.T) {
+	const n = 5000
+	for _, shards := range []int{1, 2, 3, 4, 7, 16} {
+		sm := ShardMap{Shards: shards, Seed: 42}
+		counts := sm.Counts(n)
+		total := 0
+		seen := make(map[int32]int)
+		for i := 0; i < shards; i++ {
+			owned := sm.Owned(n, i)
+			if len(owned) != counts[i] {
+				t.Errorf("shards=%d: Owned(%d) has %d ids, Counts says %d", shards, i, len(owned), counts[i])
+			}
+			prev := int32(-1)
+			for _, v := range owned {
+				if v <= prev {
+					t.Fatalf("shards=%d shard=%d: Owned not strictly ascending at %d", shards, i, v)
+				}
+				prev = v
+				if got := sm.Assign(v); got != i {
+					t.Fatalf("shards=%d: Owned(%d) lists %d but Assign says %d", shards, i, v, got)
+				}
+				seen[v]++
+			}
+			total += len(owned)
+		}
+		if total != n {
+			t.Errorf("shards=%d: shards own %d vertices, want %d", shards, total, n)
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Errorf("shards=%d: vertex %d owned by %d shards", shards, v, c)
+			}
+		}
+	}
+}
+
+// TestShardMapDeterministic pins stability: the assignment is a pure
+// function of (Shards, Seed) — identical across calls and value
+// copies — and changing the seed actually moves vertices.
+func TestShardMapDeterministic(t *testing.T) {
+	a := ShardMap{Shards: 4, Seed: 7}
+	b := ShardMap{Shards: 4, Seed: 7}
+	moved := 0
+	c := ShardMap{Shards: 4, Seed: 8}
+	for v := int32(0); v < 4096; v++ {
+		if a.Assign(v) != b.Assign(v) {
+			t.Fatalf("equal maps disagree on vertex %d", v)
+		}
+		if a.Assign(v) != c.Assign(v) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("changing the seed moved no vertices")
+	}
+}
+
+// TestShardMapBalance asserts the hash spreads load: no shard owns
+// more than twice (or less than half) its fair share on a large id
+// range — far looser than the actual SplitMix64 deviation, tight
+// enough to catch a broken mix.
+func TestShardMapBalance(t *testing.T) {
+	const n = 20000
+	for _, shards := range []int{2, 4, 8} {
+		sm := ShardMap{Shards: shards, Seed: 1}
+		fair := n / shards
+		for i, c := range sm.Counts(n) {
+			if c < fair/2 || c > 2*fair {
+				t.Errorf("shards=%d: shard %d owns %d vertices, fair share %d", shards, i, c, fair)
+			}
+		}
+	}
+}
+
+// TestShardMapUnsharded pins the degenerate forms: 0 or 1 shards own
+// everything on shard 0.
+func TestShardMapUnsharded(t *testing.T) {
+	for _, shards := range []int{0, 1} {
+		sm := ShardMap{Shards: shards}
+		if got := sm.Assign(123); got != 0 {
+			t.Errorf("Shards=%d: Assign = %d, want 0", shards, got)
+		}
+		if got := len(sm.Owned(100, 0)); got != 100 {
+			t.Errorf("Shards=%d: shard 0 owns %d of 100", shards, got)
+		}
+	}
+}

@@ -25,6 +25,7 @@ type batcher struct {
 	reqs     chan *batchReq
 	done     chan struct{}
 	closing  sync.Once
+	closed   atomic.Bool
 
 	// batches/queries count dispatched batches and the queries they
 	// carried; queries/batches is the observed coalescing factor
@@ -60,17 +61,34 @@ func newBatcher(eng *Engine, maxBatch int) *batcher {
 	return b
 }
 
-// close stops the dispatcher (idempotent); callers blocked in submit
-// unblock with errClosed.
+// close stops the dispatcher. It is idempotent and safe to race with
+// submit from any number of goroutines: the closed flag flips before
+// the done channel closes, so a submit that observed the flag gets
+// errClosed immediately and one that already enqueued is unblocked
+// either by the dispatcher's final drain or by its own done-select.
 func (b *batcher) close() {
-	b.closing.Do(func() { close(b.done) })
+	b.closing.Do(func() {
+		b.closed.Store(true)
+		close(b.done)
+	})
 }
 
 func (b *batcher) loop() {
 	for {
 		select {
 		case <-b.done:
-			return
+			// Final drain: answer anything that squeezed into the queue
+			// while close was in flight. Each out channel is buffered, so
+			// the sends cannot block even if the submitter already gave
+			// up via its own done-select.
+			for {
+				select {
+				case r := <-b.reqs:
+					r.out <- batchResp{err: errClosed}
+				default:
+					return
+				}
+			}
 		case r := <-b.reqs:
 			batch := append(make([]*batchReq, 0, 8), r)
 			n := len(r.ids)
@@ -102,6 +120,9 @@ func (b *batcher) Predict(ids []int) (*PredictResult, error) {
 }
 
 func (b *batcher) submit(ids []int, predict bool) batchResp {
+	if b.closed.Load() {
+		return batchResp{err: errClosed}
+	}
 	r := &batchReq{ids: ids, predict: predict, out: make(chan batchResp, 1)}
 	select {
 	case b.reqs <- r:
@@ -133,12 +154,13 @@ func (b *batcher) run(batch []*batchReq) {
 	var all []int
 	anyPredict := false
 	for _, r := range batch {
-		if err := checkIDs(st, r.ids); err != nil {
+		rows, err := localRows(st, r.ids)
+		if err != nil {
 			r.out <- batchResp{err: err}
 			continue
 		}
 		live = append(live, r)
-		all = append(all, r.ids...)
+		all = append(all, rows...)
 		anyPredict = anyPredict || r.predict
 	}
 	b.batches.Add(1)

@@ -75,8 +75,8 @@ func TestRegisteredRoutesComplete(t *testing.T) {
 		}
 	}
 	// /models + the bare /models/{name} alias + both spellings of
-	// every per-model endpoint.
-	want := 2 + 2*len(perModelEndpoints)
+	// every per-model endpoint and every shard operation.
+	want := 2 + 2*(len(perModelEndpoints)+len(shardEndpoints))
 	if got := len(RegisteredRoutes()); got != want {
 		t.Errorf("RegisteredRoutes lists %d routes, want %d", got, want)
 	}

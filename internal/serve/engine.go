@@ -37,6 +37,7 @@ import (
 	"gsgcn/internal/graph"
 	"gsgcn/internal/mat"
 	"gsgcn/internal/nn"
+	"gsgcn/internal/partition"
 	"gsgcn/internal/perf"
 )
 
@@ -79,6 +80,29 @@ type Options struct {
 	// reason lands in State.WarmNote and /healthz). Empty disables the
 	// warm path.
 	ArtifactPath string
+	// ShardCount makes this a shard engine: the engine holds and
+	// serves only the embedding rows of the vertices that shard
+	// ShardIndex owns under partition.ShardMap{ShardCount, ShardSeed}.
+	// Queries for vertices owned by other shards fail with a
+	// not-owned error — a Router in front is expected to scatter them
+	// to their owners. 0 (or 1 with ShardIndex 0) is the ordinary
+	// whole-graph engine. When sharded, ArtifactPath names the
+	// per-shard artifact file (artifact.ShardPath output).
+	ShardCount int
+	// ShardIndex is this engine's shard number in [0, ShardCount).
+	ShardIndex int
+	// ShardSeed keys the deterministic vertex-shard assignment; every
+	// engine of one fleet (and the artifact builder) must share it.
+	ShardSeed uint64
+}
+
+// sharded reports whether the options describe a shard engine rather
+// than a whole-graph one.
+func (o Options) sharded() bool { return o.ShardCount > 1 }
+
+// shardMap returns the vertex-shard assignment the options describe.
+func (o Options) shardMap() partition.ShardMap {
+	return partition.ShardMap{Shards: o.ShardCount, Seed: o.ShardSeed}
 }
 
 // annParams is the HNSW configuration the engine's lazy index build
@@ -123,10 +147,20 @@ type State struct {
 	// ModelVersion is the trained-weights tag carried by the
 	// checkpoint (e.g. optimizer steps at save time).
 	ModelVersion uint64
-	// Emb is the |V| x dim final-layer embedding table.
+	// Emb is the final-layer embedding table: |V| x dim for a
+	// whole-graph engine, |owned| x dim for a shard engine (rows in
+	// ascending owned-id order).
 	Emb *mat.Dense
-	// norms[v] is ||Emb[v]||₂, precomputed for cosine similarity.
+	// norms[r] is ||Emb[r]||₂, precomputed for cosine similarity.
 	norms []float64
+
+	// total is the graph's full vertex count — the id range queries
+	// validate against, which for a shard engine exceeds Emb.Rows.
+	total int
+	// owned maps local row -> global vertex id for a shard snapshot
+	// (ascending, from partition.ShardMap.Owned); nil means the
+	// identity mapping of a whole-graph snapshot.
+	owned []int32
 
 	// WarmStart reports that Emb/norms (and possibly the index) came
 	// from a persisted artifact instead of a fresh full-graph compute.
@@ -156,6 +190,36 @@ func (s *State) setIndex(idx *ann.Index) {
 // Dim returns the embedding dimensionality.
 func (s *State) Dim() int { return s.Emb.Cols }
 
+// rowOf maps a global vertex id to its local row, reporting false
+// when the snapshot does not hold that vertex (a shard snapshot and a
+// foreign id). The caller has already range-checked id against total.
+func (s *State) rowOf(id int) (int, bool) {
+	if s.owned == nil {
+		return id, true
+	}
+	lo, hi := 0, len(s.owned)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(s.owned[mid]) < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.owned) && int(s.owned[lo]) == id {
+		return lo, true
+	}
+	return 0, false
+}
+
+// globalID maps a local row back to its global vertex id.
+func (s *State) globalID(row int) int {
+	if s.owned == nil {
+		return row
+	}
+	return int(s.owned[row])
+}
+
 // IndexReady reports whether the snapshot's HNSW index is resident —
 // installed from a warm-start artifact or already built by a
 // mode=ann query. False means the first ANN query against this
@@ -167,6 +231,11 @@ func (s *State) IndexReady() bool { return s.annIdx.Load() != nil }
 type Engine struct {
 	ds   *datasets.Dataset
 	opts Options
+
+	// owned is the ascending list of vertex ids this shard engine
+	// holds (nil for a whole-graph engine). Fixed at construction: it
+	// is a pure function of (ShardSeed, ShardCount, ShardIndex, |V|).
+	owned []int32
 
 	state atomic.Pointer[State]
 	swaps atomic.Uint64
@@ -212,12 +281,16 @@ type topkKey struct {
 // LoadCheckpoint succeeds.
 func NewEngine(ds *datasets.Dataset, opts Options) *Engine {
 	opts = opts.withDefaults()
-	return &Engine{
+	e := &Engine{
 		ds:           ds,
 		opts:         opts,
 		artifactPath: opts.ArtifactPath,
 		cache:        make(map[topkKey]*TopKResult),
 	}
+	if opts.sharded() {
+		e.owned = opts.shardMap().Owned(ds.G.NumVertices(), opts.ShardIndex)
+	}
+	return e
 }
 
 // Options returns the resolved options as configured at construction.
@@ -271,6 +344,16 @@ func (e *Engine) Snapshot() (*State, error) {
 // the installed model — hot reload should Install a fresh model or go
 // through LoadCheckpoint, which reconstructs one from disk.
 func (e *Engine) Install(m *core.Model) (uint64, error) {
+	return e.InstallShared(m, nil)
+}
+
+// InstallShared is Install with an optional shared table source: when
+// full is non-nil and the cold path runs, the whole-graph tables come
+// from full() instead of a private computeTables call. A Router
+// installing one model across N shard engines passes a memoized full
+// so the expensive whole-graph pass happens once per fleet install,
+// not once per shard; each engine still keeps only its owned rows.
+func (e *Engine) InstallShared(m *core.Model, full func() (*mat.Dense, []float64)) (uint64, error) {
 	if got, want := m.Layers[0].InDim, e.ds.FeatureDim(); got != want {
 		return 0, fmt.Errorf("serve: model expects %d input features, dataset has %d", got, want)
 	}
@@ -279,7 +362,7 @@ func (e *Engine) Install(m *core.Model) (uint64, error) {
 	}
 	e.reloadMu.Lock()
 	defer e.reloadMu.Unlock()
-	st := e.buildState(m)
+	st := e.buildState(m, full)
 	st.Version = e.swaps.Add(1)
 	e.state.Store(st)
 	e.dropStaleCache(st.Version)
@@ -289,7 +372,7 @@ func (e *Engine) Install(m *core.Model) (uint64, error) {
 // buildState produces the next serving snapshot for m (reloadMu
 // held): the artifact warm path when configured and valid, the full
 // layer-wise compute otherwise. Version is left for the caller.
-func (e *Engine) buildState(m *core.Model) *State {
+func (e *Engine) buildState(m *core.Model, full func() (*mat.Dense, []float64)) *State {
 	e.artMu.Lock()
 	artPath, dirty := e.artifactPath, e.artDirty
 	e.artDirty = false
@@ -307,14 +390,39 @@ func (e *Engine) buildState(m *core.Model) *State {
 		}
 		warmNote = note
 	}
-	emb, norms := computeTables(m, e.ds, e.opts)
+	var (
+		emb   *mat.Dense
+		norms []float64
+	)
+	if full != nil {
+		emb, norms = full()
+	} else {
+		emb, norms = computeTables(m, e.ds, e.opts)
+	}
+	if e.opts.sharded() {
+		emb, norms = compactRows(emb, norms, e.owned)
+	}
 	return &State{
 		Model:        m,
 		ModelVersion: m.ModelVersion,
 		Emb:          emb,
 		norms:        norms,
+		total:        e.ds.G.NumVertices(),
+		owned:        e.owned,
 		WarmNote:     warmNote,
 	}
+}
+
+// compactRows extracts the owned rows (and norms) of a whole-graph
+// table into a fresh |owned| x dim table in ascending owned-id order.
+func compactRows(emb *mat.Dense, norms []float64, owned []int32) (*mat.Dense, []float64) {
+	sub := mat.New(len(owned), emb.Cols)
+	subNorms := make([]float64, len(owned))
+	for r, gid := range owned {
+		copy(sub.Row(r), emb.Row(int(gid)))
+		subNorms[r] = norms[gid]
+	}
+	return sub, subNorms
 }
 
 // warmState tries to satisfy an install from the configured artifact.
@@ -341,13 +449,15 @@ func (e *Engine) warmState(m *core.Model, artPath string) (*State, string) {
 	if err != nil {
 		return nil, err.Error()
 	}
-	want := artifactMetaFor(m, e.ds)
+	want := e.wantMeta(m)
 	if prev := e.state.Load(); prev != nil && prev.WarmStart && sum == e.artSum && e.artMeta == want {
 		st := &State{
 			Model:        m,
 			ModelVersion: m.ModelVersion,
 			Emb:          prev.Emb,
 			norms:        prev.norms,
+			total:        e.ds.G.NumVertices(),
+			owned:        e.owned,
 			WarmStart:    true,
 		}
 		if idx := prev.annIdx.Load(); idx != nil {
@@ -368,6 +478,8 @@ func (e *Engine) warmState(m *core.Model, artPath string) (*State, string) {
 		ModelVersion: m.ModelVersion,
 		Emb:          snap.Emb,
 		norms:        snap.Norms,
+		total:        e.ds.G.NumVertices(),
+		owned:        e.owned,
 		WarmStart:    true,
 	}
 	// Adopt the persisted index only when it is the index the lazy
@@ -567,31 +679,62 @@ const (
 // search); an ANN request that fell back to the exact scan reports
 // "exact". Ef is the beam width used (ann mode only).
 type TopKResult struct {
-	Version      uint64     `json:"version"`
-	ModelVersion uint64     `json:"model_version"`
-	ID           int        `json:"id"`
-	K            int        `json:"k"`
-	Mode         string     `json:"mode"`
-	Ef           int        `json:"ef,omitempty"`
-	Neighbors    []Neighbor `json:"neighbors"`
+	Version      uint64 `json:"version"`
+	ModelVersion uint64 `json:"model_version"`
+	ID           int    `json:"id"`
+	K            int    `json:"k"`
+	Mode         string `json:"mode"`
+	Ef           int    `json:"ef,omitempty"`
+	// Degraded marks an answer a sharded router assembled while one or
+	// more non-owning shards were down: the neighbors listed are exact
+	// over the live shards' vertices but vertices of the dead shards
+	// could not be considered. Never set on a healthy fleet or a
+	// single-engine server, so healthy responses stay byte-identical.
+	Degraded  bool       `json:"degraded,omitempty"`
+	Neighbors []Neighbor `json:"neighbors"`
 }
 
-// checkIDs validates query vertex ids against the snapshot.
+// checkIDs validates query vertex ids against the snapshot's global
+// id range. Ownership (shard engines) is checked by localRows.
 func checkIDs(st *State, ids []int) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("serve: no ids given")
 	}
 	for _, id := range ids {
-		if id < 0 || id >= st.Emb.Rows {
-			return fmt.Errorf("serve: vertex id %d out of range [0,%d)", id, st.Emb.Rows)
+		if id < 0 || id >= st.total {
+			return fmt.Errorf("serve: vertex id %d out of range [0,%d)", id, st.total)
 		}
 	}
 	return nil
 }
 
+// localRows validates ids and maps them to the snapshot's local rows.
+// On a whole-graph snapshot the mapping is the identity (ids is
+// returned unchanged, not copied); on a shard snapshot a foreign id
+// fails with errNotOwned — the router is expected to have routed it
+// to its owner.
+func localRows(st *State, ids []int) ([]int, error) {
+	if err := checkIDs(st, ids); err != nil {
+		return nil, err
+	}
+	if st.owned == nil {
+		return ids, nil
+	}
+	rows := make([]int, len(ids))
+	for i, id := range ids {
+		r, ok := st.rowOf(id)
+		if !ok {
+			return nil, fmt.Errorf("%w: vertex id %d", errNotOwned, id)
+		}
+		rows[i] = r
+	}
+	return rows, nil
+}
+
 // embedOn answers an embedding query against a fixed snapshot.
 func embedOn(st *State, ids []int) (*EmbedResult, error) {
-	if err := checkIDs(st, ids); err != nil {
+	rows, err := localRows(st, ids)
+	if err != nil {
 		return nil, err
 	}
 	res := &EmbedResult{
@@ -601,9 +744,9 @@ func embedOn(st *State, ids []int) (*EmbedResult, error) {
 		IDs:          ids,
 		Vectors:      make([][]float64, len(ids)),
 	}
-	for i, id := range ids {
+	for i, r := range rows {
 		v := make([]float64, st.Dim())
-		copy(v, st.Emb.Row(id))
+		copy(v, st.Emb.Row(r))
 		res.Vectors[i] = v
 	}
 	return res, nil
@@ -627,11 +770,12 @@ func headLogits(st *State, h *mat.Dense) *mat.Dense {
 
 // predictOn answers a prediction query against a fixed snapshot.
 func predictOn(st *State, ids []int) (*PredictResult, error) {
-	if err := checkIDs(st, ids); err != nil {
+	rows, err := localRows(st, ids)
+	if err != nil {
 		return nil, err
 	}
 	h := mat.New(len(ids), st.Dim())
-	mat.GatherRows(h, st.Emb, ids)
+	mat.GatherRows(h, st.Emb, rows)
 	logits := headLogits(st, h)
 	return predictionsFromLogits(st, ids, logits, 0), nil
 }
@@ -735,10 +879,13 @@ func (e *Engine) TopKWith(id, k int, mode string, ef int) (*TopKResult, error) {
 	if err := checkIDs(st, []int{id}); err != nil {
 		return nil, err
 	}
+	if _, ok := st.rowOf(id); !ok {
+		return nil, fmt.Errorf("%w: vertex id %d", errNotOwned, id)
+	}
 	if k < 1 {
 		return nil, fmt.Errorf("serve: k must be >= 1, got %d", k)
 	}
-	if max := st.Emb.Rows - 1; k > max {
+	if max := st.total - 1; k > max {
 		return nil, fmt.Errorf("serve: k=%d exceeds the %d other vertices", k, max)
 	}
 	useANN := false
@@ -805,12 +952,8 @@ func (e *Engine) annIndex(st *State) *ann.Index {
 
 // topkANN answers a top-K query from the snapshot's HNSW index.
 func (e *Engine) topkANN(st *State, id, k, ef int) *TopKResult {
-	idx := e.annIndex(st)
-	cands := idx.Search(st.Emb.Row(id), st.norms[id], k, ef, int32(id))
-	nbs := make([]Neighbor, len(cands))
-	for i, c := range cands {
-		nbs[i] = Neighbor{ID: int(c.ID), Score: c.Score}
-	}
+	row, _ := st.rowOf(id)
+	nbs := e.annVec(st, st.Emb.Row(row), st.norms[row], id, k, ef)
 	return &TopKResult{
 		Version:      st.Version,
 		ModelVersion: st.ModelVersion,
@@ -822,12 +965,49 @@ func (e *Engine) topkANN(st *State, id, k, ef int) *TopKResult {
 	}
 }
 
+// annVec runs an HNSW beam search of the snapshot's table for an
+// arbitrary query vector, excluding global vertex id exclude (-1 =
+// none), and reports the candidates as global ids. The index is built
+// over local rows, so the exclusion and the results are mapped
+// through the snapshot's owned list.
+func (e *Engine) annVec(st *State, q []float64, qn float64, exclude, k, ef int) []Neighbor {
+	idx := e.annIndex(st)
+	ex := int32(-1)
+	if exclude >= 0 {
+		if r, ok := st.rowOf(exclude); ok {
+			ex = int32(r)
+		}
+	}
+	cands := idx.Search(q, qn, k, ef, ex)
+	nbs := make([]Neighbor, len(cands))
+	for i, c := range cands {
+		nbs[i] = Neighbor{ID: st.globalID(int(c.ID)), Score: c.Score}
+	}
+	return nbs
+}
+
 // topkScan computes the exact top-K cosine neighbors of id.
 func topkScan(st *State, id, k, workers int) *TopKResult {
+	row, _ := st.rowOf(id)
+	return &TopKResult{
+		Version:      st.Version,
+		ModelVersion: st.ModelVersion,
+		ID:           id,
+		K:            k,
+		Mode:         ModeExact,
+		Neighbors:    scanVec(st, st.Emb.Row(row), st.norms[row], id, k, workers),
+	}
+}
+
+// scanVec runs the worker-sharded exact scan of the snapshot's table
+// against an arbitrary query vector, excluding global vertex id
+// exclude (-1 = none). Every comparison uses the tkBefore total
+// order, so the merged list is bit-identical at every workers setting
+// — and, because candidates carry global ids, a scatter over N shard
+// engines merges into exactly the whole-graph answer.
+func scanVec(st *State, q []float64, qn float64, exclude, k, workers int) []Neighbor {
 	n := st.Emb.Rows
-	qrow := st.Emb.Row(id)
-	qn := st.norms[id]
-	// One bounded skiplist per contiguous vertex shard.
+	// One bounded skiplist per contiguous row range.
 	shards := workers
 	if shards > n {
 		shards = n
@@ -841,15 +1021,16 @@ func topkScan(st *State, id, k, workers int) *TopKResult {
 			lo := s * n / shards
 			hi := (s + 1) * n / shards
 			tk := newTopKList(k)
-			for v := lo; v < hi; v++ {
-				if v == id {
+			for r := lo; r < hi; r++ {
+				gid := st.globalID(r)
+				if gid == exclude {
 					continue
 				}
 				score := 0.0
-				if d := qn * st.norms[v]; d > 0 {
-					score = mat.Dot(qrow, st.Emb.Row(v)) / d
+				if d := qn * st.norms[r]; d > 0 {
+					score = mat.Dot(q, st.Emb.Row(r)) / d
 				}
-				tk.Offer(int32(v), score)
+				tk.Offer(int32(gid), score)
 			}
 			lists[s] = tk
 		}
@@ -860,12 +1041,40 @@ func topkScan(st *State, id, k, workers int) *TopKResult {
 			final.Offer(x.id, x.score)
 		}
 	}
-	return &TopKResult{
-		Version:      st.Version,
-		ModelVersion: st.ModelVersion,
-		ID:           id,
-		K:            k,
-		Mode:         ModeExact,
-		Neighbors:    final.items(),
+	return final.items()
+}
+
+// snapshotRow resolves the current snapshot and the embedding row and
+// norm of an owned vertex — the router's way of fetching a query
+// vector from the shard that owns it.
+func (e *Engine) snapshotRow(id int) (*State, []float64, float64, error) {
+	st, err := e.Snapshot()
+	if err != nil {
+		return nil, nil, 0, err
 	}
+	if err := checkIDs(st, []int{id}); err != nil {
+		return nil, nil, 0, err
+	}
+	row, ok := st.rowOf(id)
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("%w: vertex id %d", errNotOwned, id)
+	}
+	return st, st.Emb.Row(row), st.norms[row], nil
+}
+
+// shardTopK answers one scatter probe: the k best candidates of this
+// engine's table for the supplied query vector, as global ids. In ANN
+// mode the per-shard HNSW index is searched unless the beam would
+// cover the local table anyway, in which case the exact local scan is
+// both cheaper and complete — the same fallback rule the whole-graph
+// engine applies.
+func (e *Engine) shardTopK(q []float64, qn float64, exclude, k int, useANN bool, ef int) ([]Neighbor, *State, error) {
+	st, err := e.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	if useANN && ef < st.Emb.Rows-1 && k < st.Emb.Rows-1 {
+		return e.annVec(st, q, qn, exclude, k, ef), st, nil
+	}
+	return scanVec(st, q, qn, exclude, k, e.opts.Workers), st, nil
 }

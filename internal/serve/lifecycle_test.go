@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBatcherCloseSubmitRace is the close-race regression test: any
+// number of goroutines hammering Embed/Predict while close() fires —
+// repeatedly, from several goroutines at once — must end with every
+// in-flight request answered (a result or errClosed, never a hang)
+// and no panic on double close. Run under -race this also proves the
+// closed-flag/done-channel handoff is properly ordered.
+func TestBatcherCloseSubmitRace(t *testing.T) {
+	ds := testDataset(t, false)
+	m := testModel(t, ds, 2, "mean")
+
+	for round := 0; round < 8; round++ {
+		eng := NewEngine(ds, Options{Workers: 2})
+		if _, err := eng.Install(m); err != nil {
+			t.Fatal(err)
+		}
+		b := newBatcher(eng, 8)
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					var err error
+					if g%2 == 0 {
+						_, err = b.Embed([]int{(g + i) % 300})
+					} else {
+						_, err = b.Predict([]int{(g + i) % 300})
+					}
+					if err != nil && err != errClosed {
+						t.Errorf("submit during close: %v", err)
+						return
+					}
+					if err == errClosed {
+						return
+					}
+				}
+			}(g)
+		}
+		// Two goroutines race the close itself: it must be idempotent.
+		for c := 0; c < 2; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				b.close()
+			}()
+		}
+		close(start)
+		wg.Wait()
+
+		// After close, every submit fails fast with errClosed.
+		if _, err := b.Embed([]int{0}); err != errClosed {
+			t.Fatalf("post-close Embed err = %v, want errClosed", err)
+		}
+		if _, err := b.Predict([]int{0}); err != errClosed {
+			t.Fatalf("post-close Predict err = %v, want errClosed", err)
+		}
+	}
+}
+
+// TestStrictVertexIDParsing pins the one-parser contract: every
+// surface form strconv.Atoi would have quietly accepted (signs,
+// spaces, huge tokens) is a 400 with the same error body on /embed,
+// /predict and /topk — and identically on a single-process server and
+// a sharded router, so malformed requests cannot distinguish the two
+// deployments.
+func TestStrictVertexIDParsing(t *testing.T) {
+	ds := testDataset(t, false)
+	dir := t.TempDir()
+	ckpt := trainAndSave(t, ds, 1, dir)
+
+	srv := NewServer(ds, Options{Workers: 1})
+	defer srv.Close()
+	if _, err := srv.Load(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	rt := newTestRouter(t, Options{Workers: 1}, 2, 5, ckpt)
+	defer rt.Close()
+	srvTS := httptest.NewServer(srv)
+	defer srvTS.Close()
+	rtTS := httptest.NewServer(rt)
+	defer rtTS.Close()
+
+	// Each id token below is pre-escaped for a URL query: %2B is "+",
+	// %20 a space. wantTok is the token as the parser sees it after
+	// query decoding, named in the uniform error body.
+	rejected := []struct{ raw, wantTok string }{
+		{"%2B3", "+3"},                 // explicit plus sign (Atoi accepts this)
+		{"-1", "-1"},                   // sign, even for a "valid" number
+		{"%203", " 3"},                 // leading space
+		{"3%20", "3 "},                 // trailing space
+		{"", ""},                       // empty token (ids=5,,7 style)
+		{"0x1f", "0x1f"},               // hex
+		{"1e2", "1e2"},                 // scientific notation
+		{"12345678901", "12345678901"}, // longer than any valid id
+		{"nope", "nope"},
+	}
+	endpoints := []struct{ name, path string }{
+		{"embed", "/embed?ids="},
+		{"predict", "/predict?ids="},
+		{"topk", "/topk?k=3&id="},
+	}
+	for _, tok := range rejected {
+		raw, err := json.Marshal(errorBody{
+			Error: fmt.Sprintf("serve: bad vertex id %q (want plain decimal digits)", tok.wantTok),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBody := string(raw)
+		for _, ep := range endpoints {
+			for _, deploy := range []struct {
+				name string
+				url  string
+			}{{"server", srvTS.URL}, {"router", rtTS.URL}} {
+				t.Run(fmt.Sprintf("%s-%s-%q", deploy.name, ep.name, tok.wantTok), func(t *testing.T) {
+					code, body := get(t, deploy.url+ep.path+tok.raw)
+					// A fully empty parameter reads as missing — a
+					// different (also uniform) message per endpoint.
+					if tok.wantTok == "" {
+						if code != 400 || !strings.Contains(string(body), "missing id") {
+							t.Fatalf("= %d %s", code, body)
+						}
+						return
+					}
+					if code != 400 {
+						t.Fatalf("status = %d, want 400 (body %s)", code, body)
+					}
+					if strings.TrimSpace(string(body)) != wantBody {
+						t.Fatalf("body = %s, want %s", body, wantBody)
+					}
+				})
+			}
+		}
+	}
+
+	// Digits-only forms stay accepted, leading zeros included.
+	for _, ok := range []string{"3", "003", "0"} {
+		for _, base := range []string{srvTS.URL, rtTS.URL} {
+			if code, body := get(t, base+"/embed?ids="+ok); code != 200 {
+				t.Errorf("ids=%s = %d %s, want 200", ok, code, body)
+			}
+		}
+	}
+}

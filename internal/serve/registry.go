@@ -34,7 +34,7 @@ import (
 // identical data serve from one in-memory graph and feature table.
 type Registry struct {
 	mu     sync.RWMutex
-	models map[string]*Server
+	models map[string]ModelServer
 	order  []string // registration order, for stable listings
 	def    string
 
@@ -46,11 +46,36 @@ type Registry struct {
 	dataFP map[*datasets.Dataset]uint64
 }
 
+// ModelServer is what the registry requires of one registered model:
+// the full HTTP surface plus the lifecycle and status hooks. Both the
+// single-engine Server and the sharded Router implement it, so a
+// registry can mix unsharded and sharded models freely — the
+// dispatch, health listing and fleet reload code never distinguish
+// them.
+type ModelServer interface {
+	http.Handler
+	Load(path string) (uint64, error)
+	Reload() (uint64, error)
+	CheckpointPath() string
+	Close()
+	health() healthBody
+	modelInfo() modelInfo
+}
+
+// modelInfo is the configuration summary a ModelServer reports for
+// the registry's status surface (everything health() doesn't cover).
+type modelInfo struct {
+	artifact   string
+	annDefault bool
+	index      string // "built" | "lazy" | "none"
+	shards     int    // 0 = unsharded
+}
+
 // NewRegistry returns an empty registry. Add at least one model and
 // set (or default) a default before serving legacy routes.
 func NewRegistry() *Registry {
 	return &Registry{
-		models: make(map[string]*Server),
+		models: make(map[string]ModelServer),
 		data:   make(map[uint64]*datasets.Dataset),
 		dataFP: make(map[*datasets.Dataset]uint64),
 	}
@@ -75,13 +100,46 @@ func validModelName(name string) bool {
 // one graph's memory. No checkpoint is loaded yet; call Load on the
 // returned server.
 func (r *Registry) Add(name string, ds *datasets.Dataset, opts Options) (*Server, error) {
+	var srv *Server
+	err := r.register(name, ds, func(ds *datasets.Dataset) (ModelServer, error) {
+		srv = NewServer(ds, opts)
+		return srv, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// AddSharded registers a sharded model: a Router scatter-gathering
+// over `shards` shard engines whose vertex ownership is keyed by
+// seed. Everything Add does — name validation, dataset dedup, default
+// election — applies identically; the registered model additionally
+// serves the /shards operations (see Router).
+func (r *Registry) AddSharded(name string, ds *datasets.Dataset, opts Options, shards int, seed uint64) (*Router, error) {
+	var rt *Router
+	err := r.register(name, ds, func(ds *datasets.Dataset) (ModelServer, error) {
+		var err error
+		rt, err = NewRouter(ds, opts, shards, seed)
+		return rt, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// register is the shared Add/AddSharded body: validate the name,
+// dedupe the dataset by content fingerprint, build the model server
+// over the (possibly shared) dataset, and wire it into the listings.
+func (r *Registry) register(name string, ds *datasets.Dataset, build func(*datasets.Dataset) (ModelServer, error)) error {
 	if !validModelName(name) {
-		return nil, fmt.Errorf("serve: invalid model name %q", name)
+		return fmt.Errorf("serve: invalid model name %q", name)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.models[name]; dup {
-		return nil, fmt.Errorf("serve: model %q already registered", name)
+		return fmt.Errorf("serve: model %q already registered", name)
 	}
 	fp, seen := r.dataFP[ds]
 	if !seen {
@@ -93,13 +151,16 @@ func (r *Registry) Add(name string, ds *datasets.Dataset, opts Options) (*Server
 	} else {
 		r.data[fp] = ds
 	}
-	srv := NewServer(ds, opts)
+	srv, err := build(ds)
+	if err != nil {
+		return err
+	}
 	r.models[name] = srv
 	r.order = append(r.order, name)
 	if r.def == "" {
 		r.def = name
 	}
-	return srv, nil
+	return nil
 }
 
 // SetDefault names the model behind the unprefixed legacy routes.
@@ -122,7 +183,7 @@ func (r *Registry) Default() string {
 }
 
 // Get returns the named model's server.
-func (r *Registry) Get(name string) (*Server, bool) {
+func (r *Registry) Get(name string) (ModelServer, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	srv, ok := r.models[name]
@@ -145,6 +206,30 @@ func (r *Registry) Close() {
 	}
 }
 
+// ReloadAll reloads every registered model from its last loaded
+// checkpoint, sequentially in registration order, and keeps going
+// past failures: one model's unreadable or corrupt checkpoint must
+// not leave the rest of the fleet serving stale weights. The returned
+// map carries one entry per failed model (empty means the whole fleet
+// advanced); a failing model's serving snapshot stays exactly as it
+// was — the single-model reload guarantee, aggregated.
+func (r *Registry) ReloadAll() map[string]error {
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	servers := make([]ModelServer, len(names))
+	for i, n := range names {
+		servers[i] = r.models[n]
+	}
+	r.mu.RUnlock()
+	failures := make(map[string]error)
+	for i, n := range names {
+		if _, err := servers[i].Reload(); err != nil {
+			failures[n] = err
+		}
+	}
+	return failures
+}
+
 // modelStatus is one model's entry in the /models listing and the
 // body of /models/{name}/healthz: the per-model health surface. It
 // embeds the legacy healthBody — assembled by the same Server.health
@@ -162,27 +247,24 @@ type modelStatus struct {
 	healthBody
 	ANNDefault bool   `json:"ann_default"`
 	Index      string `json:"index"` // "built" | "lazy" | "none"
+	// Shards is the model's shard count; absent for unsharded models,
+	// so pre-sharding listings are byte-identical.
+	Shards int `json:"shards,omitempty"`
 }
 
 // statusFor assembles the live status of one registered model.
-func (r *Registry) statusFor(name string, srv *Server) modelStatus {
-	ms := modelStatus{
+func (r *Registry) statusFor(name string, srv ModelServer) modelStatus {
+	info := srv.modelInfo()
+	return modelStatus{
 		Name:       name,
 		Default:    name == r.Default(),
 		Checkpoint: srv.CheckpointPath(),
-		Artifact:   srv.eng.ArtifactPath(),
+		Artifact:   info.artifact,
 		healthBody: srv.health(),
-		ANNDefault: srv.eng.opts.ANN,
-		Index:      "none",
+		ANNDefault: info.annDefault,
+		Index:      info.index,
+		Shards:     info.shards,
 	}
-	if st, err := srv.eng.Snapshot(); err == nil {
-		if st.IndexReady() {
-			ms.Index = "built"
-		} else {
-			ms.Index = "lazy"
-		}
-	}
-	return ms
 }
 
 // listBody is the GET /models response.
@@ -199,7 +281,7 @@ func (r *Registry) handleList(w http.ResponseWriter, req *http.Request) {
 	}
 	r.mu.RLock()
 	names := append([]string(nil), r.order...)
-	servers := make([]*Server, len(names))
+	servers := make([]ModelServer, len(names))
 	for i, n := range names {
 		servers[i] = r.models[n]
 	}
@@ -252,6 +334,21 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 				srv.ServeHTTP(w, req2)
 				return
 			}
+		}
+		if sub == "shards" || strings.HasPrefix(sub, "shards/") {
+			// Shard operations exist only on sharded models; the Router
+			// hand-routes the exact sub-path itself.
+			if _, sharded := srv.(*Router); !sharded {
+				writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("serve: model %q is not sharded", name)})
+				return
+			}
+			req2 := new(http.Request)
+			*req2 = *req
+			u2 := *req.URL
+			u2.Path = "/" + sub
+			req2.URL = &u2
+			srv.ServeHTTP(w, req2)
+			return
 		}
 		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("serve: unknown endpoint %q for model %q", sub, name)})
 		return

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sync"
 	"testing"
 )
@@ -131,5 +133,96 @@ func TestRegistryIsolationUnderFailingReload(t *testing.T) {
 		if code, _ := getBody(t, ts.URL+q); code != 200 {
 			t.Errorf("post-storm %s = %d", q, code)
 		}
+	}
+}
+
+// TestRegistryReloadAllIsolation pins the SIGHUP fleet-reload
+// semantics ReloadAll implements: every model is attempted, failures
+// come back per model instead of aborting the sweep, and a model
+// whose checkpoint is corrupt keeps serving its previous snapshot at
+// its previous version while the healthy models all advance.
+func TestRegistryReloadAllIsolation(t *testing.T) {
+	ds := testDataset(t, false)
+	dir := t.TempDir()
+	ckptA := trainAndSave(t, ds, 1, dir)
+	ckptB := trainAndSave(t, ds, 2, dir)
+	ckptC := trainAndSave(t, ds, 3, dir)
+
+	reg := NewRegistry()
+	defer reg.Close()
+	srvA, err := reg.Add("a", ds, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := reg.Add("b", ds, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sharded model participates in the same fleet reload.
+	rtC, err := reg.AddSharded("c", ds, Options{Workers: 1}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []struct {
+		srv  ModelServer
+		path string
+	}{{srvA, ckptA}, {srvB, ckptB}, {rtC, ckptC}} {
+		if _, err := load.srv.Load(load.path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ts := httptest.NewServer(reg)
+	defer ts.Close()
+	_, beforeB := getBody(t, ts.URL+"/models/b/embed?ids=0,1,2")
+
+	// All healthy: the sweep reports zero failures and every model —
+	// including each shard of the sharded one — advances by one.
+	if failures := reg.ReloadAll(); len(failures) != 0 {
+		t.Fatalf("healthy ReloadAll failures = %v", failures)
+	}
+	stA, _ := srvA.Engine().Snapshot()
+	if stA.Version != 2 {
+		t.Errorf("model a version after fleet reload = %d, want 2", stA.Version)
+	}
+	for i := 0; i < rtC.Shards(); i++ {
+		if st, _ := rtC.Engine(i).Snapshot(); st.Version != 2 {
+			t.Errorf("model c shard %d version = %d, want 2", i, st.Version)
+		}
+	}
+
+	// Corrupt model b's checkpoint on disk, then sweep again: only b
+	// fails, a and c still advance, b keeps serving the old snapshot.
+	if err := os.WriteFile(ckptB, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	failures := reg.ReloadAll()
+	if len(failures) != 1 || failures["b"] == nil {
+		t.Fatalf("failures after corrupting b = %v, want exactly {b: …}", failures)
+	}
+	stA, _ = srvA.Engine().Snapshot()
+	stB, _ := srvB.Engine().Snapshot()
+	stC, _ := rtC.Engine(0).Snapshot()
+	if stA.Version != 3 || stC.Version != 3 {
+		t.Errorf("healthy models after partial failure: a=%d c=%d, want 3", stA.Version, stC.Version)
+	}
+	if stB.Version != 2 {
+		t.Errorf("failed model b version = %d, want 2 (previous snapshot untouched)", stB.Version)
+	}
+	code, afterB := getBody(t, ts.URL+"/models/b/embed?ids=0,1,2")
+	if code != 200 {
+		t.Fatalf("model b after failed reload = %d", code)
+	}
+	var before, after EmbedResult
+	if err := json.Unmarshal(beforeB, &before); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(afterB, &after); err != nil {
+		t.Fatal(err)
+	}
+	// Same model weights (the failed reload changed nothing but the
+	// version counter, which moved only on the earlier healthy sweep).
+	if fmt.Sprint(before.Vectors) != fmt.Sprint(after.Vectors) {
+		t.Error("model b's answers changed after a failed reload")
 	}
 }

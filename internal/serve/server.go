@@ -15,6 +15,17 @@ import (
 // errMethod marks requests using an unsupported HTTP method.
 var errMethod = errors.New("serve: method not allowed")
 
+// errNotOwned marks a query for a vertex a shard engine does not own.
+// The router never surfaces it — partition-aware routing sends every
+// id to its owner — so seeing it means a shard engine was addressed
+// directly with a foreign id.
+var errNotOwned = errors.New("serve: vertex not owned by this shard")
+
+// errShardDown marks a query whose owning shard is stopped; the
+// router returns it so clients can distinguish "this id is
+// temporarily unanswerable" (503, retryable) from a caller mistake.
+var errShardDown = errors.New("serve: owning shard is down")
+
 // maxQueryIDs bounds one request's id list; larger lookups should
 // page. It protects the micro-batcher from one request monopolizing
 // a batch.
@@ -74,7 +85,8 @@ var perModelEndpoints = []RouteDoc{
 
 // RegisteredRoutes returns every HTTP route a Registry-fronted
 // process serves: the registry's own endpoints plus both spellings of
-// each per-model endpoint. docs/API.md must document all of them.
+// each per-model endpoint and of each shard operation (served when
+// the model is sharded). docs/API.md must document all of them.
 func RegisteredRoutes() []RouteDoc {
 	routes := []RouteDoc{
 		{"GET", "/models"},
@@ -85,7 +97,13 @@ func RegisteredRoutes() []RouteDoc {
 	for _, e := range perModelEndpoints {
 		routes = append(routes, RouteDoc{e.Methods, "/models/{name}" + e.Pattern})
 	}
+	for _, e := range shardEndpoints {
+		routes = append(routes, RouteDoc{e.Methods, "/models/{name}" + e.Pattern})
+	}
 	for _, e := range perModelEndpoints {
+		routes = append(routes, e)
+	}
+	for _, e := range shardEndpoints {
 		routes = append(routes, e)
 	}
 	return routes
@@ -185,8 +203,10 @@ func statusFor(err error) int {
 	switch {
 	case err == nil:
 		return http.StatusOK
-	case errors.Is(err, errClosed):
+	case errors.Is(err, errClosed), errors.Is(err, errShardDown):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errNotOwned):
+		return http.StatusNotFound
 	case errors.Is(err, errMethod):
 		return http.StatusMethodNotAllowed
 	case strings.Contains(err.Error(), "no model loaded"):
@@ -197,6 +217,32 @@ func statusFor(err error) int {
 
 func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+}
+
+// parseVertexID is the one vertex-id parser for every query
+// endpoint: plain base-10 digits, nothing else. strconv.Atoi is
+// deliberately not used directly — it accepts "+3" and "-0", and
+// ad-hoc trimming made "%203" valid on one endpoint and a 400 on
+// another. Every endpoint rejecting the same surface forms with the
+// same error text is what makes the router's scatter paths
+// byte-identical to a single process on malformed input too.
+func parseVertexID(tok string) (int, error) {
+	bad := func() (int, error) {
+		return 0, fmt.Errorf("serve: bad vertex id %q (want plain decimal digits)", tok)
+	}
+	if tok == "" || len(tok) > 10 {
+		return bad()
+	}
+	for i := 0; i < len(tok); i++ {
+		if tok[i] < '0' || tok[i] > '9' {
+			return bad()
+		}
+	}
+	id, err := strconv.Atoi(tok)
+	if err != nil {
+		return bad()
+	}
+	return id, nil
 }
 
 // parseIDs extracts the queried vertex ids from ?ids=… or a JSON
@@ -210,9 +256,9 @@ func parseIDs(r *http.Request) ([]int, error) {
 			return nil, fmt.Errorf("serve: missing ids parameter")
 		}
 		for _, tok := range strings.Split(raw, ",") {
-			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			id, err := parseVertexID(tok)
 			if err != nil {
-				return nil, fmt.Errorf("serve: bad id %q", tok)
+				return nil, err
 			}
 			ids = append(ids, id)
 		}
@@ -264,48 +310,65 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+// topkQuery is a parsed /topk request.
+type topkQuery struct {
+	id, k int
+	mode  string
+	ef    int
+}
+
+// parseTopKQuery validates a /topk request for a graph of the given
+// vertex count. It is shared by the single-engine handler and the
+// scatter-gather router so both reject exactly the same surface forms
+// with the same bodies.
+func parseTopKQuery(r *http.Request, vertices int, annEnabled bool) (topkQuery, error) {
 	if r.Method != http.MethodGet {
-		writeErr(w, fmt.Errorf("%w: %s", errMethod, r.Method))
-		return
+		return topkQuery{}, fmt.Errorf("%w: %s", errMethod, r.Method)
 	}
 	q := r.URL.Query()
-	id, err := strconv.Atoi(q.Get("id"))
+	if q.Get("id") == "" {
+		return topkQuery{}, fmt.Errorf("serve: missing id parameter")
+	}
+	id, err := parseVertexID(q.Get("id"))
 	if err != nil {
-		writeErr(w, fmt.Errorf("serve: bad or missing id parameter"))
-		return
+		return topkQuery{}, err
 	}
 	k := 10
 	if raw := q.Get("k"); raw != "" {
 		if k, err = strconv.Atoi(raw); err != nil {
-			writeErr(w, fmt.Errorf("serve: bad k parameter %q", raw))
-			return
+			return topkQuery{}, fmt.Errorf("serve: bad k parameter %q", raw)
 		}
-	} else if n := s.eng.ds.G.NumVertices(); k > n-1 {
+	} else if k > vertices-1 {
 		// The client sent no k: clamp the server-side default to the
 		// graph rather than rejecting it for exceeding |V|-1 (an
 		// explicit out-of-range k is still an error).
-		k = n - 1
+		k = vertices - 1
 	}
 	mode := q.Get("mode")
 	switch mode {
 	case ModeAuto, ModeExact, ModeANN:
 	default:
-		writeErr(w, fmt.Errorf("serve: bad mode parameter %q (want exact or ann)", mode))
-		return
+		return topkQuery{}, fmt.Errorf("serve: bad mode parameter %q (want exact or ann)", mode)
 	}
 	ef := 0
 	if raw := q.Get("ef"); raw != "" {
 		if ef, err = strconv.Atoi(raw); err != nil || ef < 1 {
-			writeErr(w, fmt.Errorf("serve: bad ef parameter %q (want a positive integer)", raw))
-			return
+			return topkQuery{}, fmt.Errorf("serve: bad ef parameter %q (want a positive integer)", raw)
 		}
-		if mode == ModeExact || (mode == ModeAuto && !s.eng.opts.ANN) {
-			writeErr(w, fmt.Errorf("serve: ef applies only to mode=ann"))
-			return
+		if mode == ModeExact || (mode == ModeAuto && !annEnabled) {
+			return topkQuery{}, fmt.Errorf("serve: ef applies only to mode=ann")
 		}
 	}
-	res, err := s.eng.TopKWith(id, k, mode, ef)
+	return topkQuery{id: id, k: k, mode: mode, ef: ef}, nil
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	tq, err := parseTopKQuery(r, s.eng.ds.G.NumVertices(), s.eng.opts.ANN)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.eng.TopKWith(tq.id, tq.k, tq.mode, tq.ef)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -353,6 +416,24 @@ func (s *Server) health() healthBody {
 		body.Coalescing = float64(body.Queries) / float64(body.Batches)
 	}
 	return body
+}
+
+// modelInfo reports the registry-facing configuration summary of an
+// unsharded model.
+func (s *Server) modelInfo() modelInfo {
+	info := modelInfo{
+		artifact:   s.eng.ArtifactPath(),
+		annDefault: s.eng.opts.ANN,
+		index:      "none",
+	}
+	if st, err := s.eng.Snapshot(); err == nil {
+		if st.IndexReady() {
+			info.index = "built"
+		} else {
+			info.index = "lazy"
+		}
+	}
+	return info
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"gsgcn/internal/core"
 	"gsgcn/internal/datasets"
 	"gsgcn/internal/mat"
+	"gsgcn/internal/partition"
 	"gsgcn/internal/perf"
 )
 
@@ -28,6 +29,22 @@ func artifactMetaFor(m *core.Model, ds *datasets.Dataset) artifact.Meta {
 		FeatureDim: ds.FeatureDim(),
 		Dim:        m.EmbeddingDim(),
 	}
+}
+
+// wantMeta returns the Meta an artifact must carry to warm this
+// engine: the whole-graph meta, extended with the shard identity and
+// owned-row count when the engine serves one shard of a fleet — a
+// shard engine only ever adopts the artifact built for exactly its
+// shard under exactly its seed.
+func (e *Engine) wantMeta(m *core.Model) artifact.Meta {
+	want := artifactMetaFor(m, e.ds)
+	if e.opts.sharded() {
+		want.Shards = e.opts.ShardCount
+		want.Shard = e.opts.ShardIndex
+		want.ShardSeed = e.opts.ShardSeed
+		want.ShardRows = len(e.owned)
+	}
+	return want
 }
 
 // computeTables runs the cold-start table computation for (m, ds):
@@ -70,4 +87,52 @@ func BuildSnapshot(ds *datasets.Dataset, m *core.Model, opts Options, withIndex 
 		snap.Index = ann.Build(emb, norms, opts.annParams(), opts.Workers)
 	}
 	return snap, nil
+}
+
+// BuildShardSnapshots computes the per-shard serving artifacts of a
+// sharded fleet: one whole-graph table pass (the expensive part runs
+// once, not once per shard), compacted to each shard's owned rows in
+// ascending owned-id order — exactly the compaction a shard engine's
+// cold start performs, so every shard artifact is byte-equal to what
+// that shard would have computed itself. With withIndex, each shard
+// additionally gets the deterministic HNSW index over its own rows
+// (the index a shard engine's lazy ann path would build). shards == 1
+// degenerates to one whole-graph snapshot identical to BuildSnapshot.
+func BuildShardSnapshots(ds *datasets.Dataset, m *core.Model, opts Options, withIndex bool, shards int, shardSeed uint64) ([]*artifact.Snapshot, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("serve: shard count must be >= 1, got %d", shards)
+	}
+	if shards == 1 {
+		snap, err := BuildSnapshot(ds, m, opts, withIndex)
+		if err != nil {
+			return nil, err
+		}
+		return []*artifact.Snapshot{snap}, nil
+	}
+	opts = opts.withDefaults()
+	if got, want := m.Layers[0].InDim, ds.FeatureDim(); got != want {
+		return nil, fmt.Errorf("serve: model expects %d input features, dataset has %d", got, want)
+	}
+	if got, want := m.Head.OutDim, ds.NumClasses; got != want {
+		return nil, fmt.Errorf("serve: model predicts %d classes, dataset has %d", got, want)
+	}
+	emb, norms := computeTables(m, ds, opts)
+	sm := partition.ShardMap{Shards: shards, Seed: shardSeed}
+	meta := artifactMetaFor(m, ds)
+	out := make([]*artifact.Snapshot, shards)
+	for i := 0; i < shards; i++ {
+		owned := sm.Owned(ds.G.NumVertices(), i)
+		sub, subNorms := compactRows(emb, norms, owned)
+		sMeta := meta
+		sMeta.Shards = shards
+		sMeta.Shard = i
+		sMeta.ShardSeed = shardSeed
+		sMeta.ShardRows = len(owned)
+		snap := &artifact.Snapshot{Meta: sMeta, Emb: sub, Norms: subNorms}
+		if withIndex {
+			snap.Index = ann.Build(sub, subNorms, opts.annParams(), opts.Workers)
+		}
+		out[i] = snap
+	}
+	return out, nil
 }

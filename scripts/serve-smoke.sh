@@ -6,6 +6,11 @@
 # server restarts against it, /healthz must report warm_start:true and
 # every /topk answer must match the cold run byte-for-byte (the
 # artifact determinism contract, asserted over HTTP).
+# The final phase shards the same graph 3 ways: gsgcn-index -shards
+# builds per-shard artifacts, the sharded server must answer /embed,
+# /predict and exact /topk byte-identically to the single process,
+# and stopping one shard must degrade /healthz (still HTTP 200) while
+# ids on live shards keep answering unchanged.
 # Binaries are expected in ./bin (built by `make serve-smoke`).
 set -euo pipefail
 
@@ -212,5 +217,126 @@ code=$(curl -s -o /dev/null -w '%{http_code}' "$base/models/nope/embed?ids=0")
 if [ "$code" != 404 ]; then
     echo "serve-smoke: unknown model returned $code, want 404" >&2; exit 1
 fi
+
+echo "== serve (single process: baseline for the sharded phase)"
+stop_server
+start_server -data "$TMP/g.gsg" -load "$TMP/m.ckpt" -ann
+
+# Capture unsharded answers for the sharded byte-equality phase:
+# /embed, /predict and exact /topk are the deployment-independent
+# contract (ann answers are only pinned at a fixed shard count).
+exact_queries="/embed?ids=0,1,2 /predict?ids=0,1 /topk?id=0&k=3&mode=exact /topk?id=5&k=4&mode=exact"
+for q in $exact_queries; do
+    curl -s "$base$q" > "$TMP/unsharded$(printf '%s' "$q" | tr '/?&,=' '_____')"
+done
+
+echo "== index (per-shard artifacts, 3 shards)"
+"$BIN/gsgcn-index" -load "$TMP/m.ckpt" -data "$TMP/g.gsg" -out "$TMP/sh.art" \
+    -shards 3 -shard-seed 42
+for i in 0 1 2; do
+    if [ ! -s "$TMP/sh.art.s${i}of3" ] || [ ! -s "$TMP/sh.art.s${i}of3.json" ]; then
+        echo "serve-smoke: missing shard artifact s${i}of3 or its manifest" >&2; exit 1
+    fi
+done
+
+echo "== serve (sharded: 3 shards, warm from per-shard artifacts)"
+stop_server
+start_server -data "$TMP/g.gsg" -load "$TMP/m.ckpt" -ann \
+    -artifact "$TMP/sh.art" -shards 3 -shard-seed 42
+
+check "/shards" "shard_seed"
+if ! curl -s "$base/healthz" | grep -q '"shards":3'; then
+    echo "serve-smoke: sharded healthz does not report 3 shards:" >&2
+    curl -s "$base/healthz" >&2; exit 1
+fi
+if ! curl -s "$base/healthz" | grep -q '"warm_start":true'; then
+    echo "serve-smoke: sharded fleet did not warm-start from its artifacts:" >&2
+    curl -s "$base/healthz" >&2; exit 1
+fi
+
+echo "== sharded answers must equal unsharded answers byte-for-byte"
+for q in $exact_queries; do
+    f="$TMP/unsharded$(printf '%s' "$q" | tr '/?&,=' '_____')"
+    curl -s "$base$q" > "$f.sharded"
+    if ! cmp -s "$f" "$f.sharded"; then
+        echo "serve-smoke: sharded $q differs from unsharded:" >&2
+        diff "$f" "$f.sharded" >&2 || true
+        exit 1
+    fi
+done
+
+echo "== kill one shard: degraded, not dead"
+# Pre-outage answers for a spread of ids, to prove live shards keep
+# answering byte-identically during the outage.
+for id in 0 1 2 3 4 5 6 7 8 9; do
+    curl -s "$base/embed?ids=$id" > "$TMP/pre$id"
+done
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/shards/1/stop")
+if [ "$code" != 200 ]; then
+    echo "serve-smoke: POST /shards/1/stop returned $code" >&2; exit 1
+fi
+
+# /healthz stays HTTP 200 but reports the degradation.
+code=$(curl -s -o "$TMP/degraded.json" -w '%{http_code}' "$base/healthz")
+if [ "$code" != 200 ]; then
+    echo "serve-smoke: degraded /healthz returned $code, want 200" >&2; exit 1
+fi
+if ! grep -q '"status":"degraded"' "$TMP/degraded.json"; then
+    echo "serve-smoke: /healthz with a shard down is not degraded:" >&2
+    cat "$TMP/degraded.json" >&2; exit 1
+fi
+if ! grep -q '"shards_down":1' "$TMP/degraded.json"; then
+    echo "serve-smoke: /healthz does not count the down shard:" >&2
+    cat "$TMP/degraded.json" >&2; exit 1
+fi
+
+# Ids on live shards answer byte-identically; ids owned by the dead
+# shard fail 503. With 10 ids over 3 shards both classes must occur.
+live=0 dead=0
+for id in 0 1 2 3 4 5 6 7 8 9; do
+    code=$(curl -s -o "$TMP/during$id" -w '%{http_code}' "$base/embed?ids=$id")
+    case "$code" in
+    200)
+        live=$((live + 1))
+        if ! cmp -s "$TMP/pre$id" "$TMP/during$id"; then
+            echo "serve-smoke: live-shard id $id changed during the outage:" >&2
+            diff "$TMP/pre$id" "$TMP/during$id" >&2 || true
+            exit 1
+        fi
+        ;;
+    503)
+        dead=$((dead + 1))
+        if ! grep -q "stopped shard 1" "$TMP/during$id"; then
+            echo "serve-smoke: 503 for id $id does not name the stopped shard:" >&2
+            cat "$TMP/during$id" >&2; exit 1
+        fi
+        ;;
+    *)
+        echo "serve-smoke: id $id during outage returned $code:" >&2
+        cat "$TMP/during$id" >&2; exit 1
+        ;;
+    esac
+done
+if [ "$live" -eq 0 ] || [ "$dead" -eq 0 ]; then
+    echo "serve-smoke: outage split live=$live dead=$dead over 10 ids — expected both" >&2; exit 1
+fi
+
+echo "== restart the shard: fully recovered"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/shards/1/start")
+if [ "$code" != 200 ]; then
+    echo "serve-smoke: POST /shards/1/start returned $code" >&2; exit 1
+fi
+if ! curl -s "$base/healthz" | grep -q '"status":"ok"'; then
+    echo "serve-smoke: fleet not ok after shard restart" >&2; exit 1
+fi
+for q in $exact_queries; do
+    f="$TMP/unsharded$(printf '%s' "$q" | tr '/?&,=' '_____')"
+    curl -s "$base$q" > "$f.recovered"
+    if ! cmp -s "$f" "$f.recovered"; then
+        echo "serve-smoke: post-recovery $q differs from unsharded:" >&2
+        diff "$f" "$f.recovered" >&2 || true
+        exit 1
+    fi
+done
 
 echo "serve-smoke: OK"
