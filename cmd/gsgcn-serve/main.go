@@ -61,8 +61,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -72,6 +72,12 @@ import (
 
 	"gsgcn"
 )
+
+// logger emits every lifecycle event (startup, reload, shutdown) as a
+// structured JSON line on stderr, and doubles as the access logger:
+// request lines and lifecycle lines share one stream and one
+// monotonic id space, so an operator can correlate them.
+var logger = gsgcn.NewStructuredLogger(os.Stderr)
 
 // modelSpec is one model's serving configuration — the JSON config
 // schema and the parsed form of a -model flag.
@@ -223,6 +229,8 @@ func main() {
 		art     = flag.String("artifact", "", "snapshot artifact (gsgcn-index output) to warm-start from; \"auto\" tries <load>.art; mismatch or absence falls back to the full compute")
 		shards  = flag.Int("shards", 0, "serve each model as N vertex shards behind a scatter-gather router (0 or 1 = unsharded)")
 		shSeed  = flag.Uint64("shard-seed", 0, "seed keying the deterministic vertex-shard assignment (must match gsgcn-index -shard-seed)")
+		pprofAt = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (e.g. 127.0.0.1:6060); off when empty, and never on the serving listener")
+		noLog   = flag.Bool("no-access-log", false, "disable the per-request JSON access log (lifecycle events still log)")
 	)
 	flag.Var(&models, "model", "serve an extra model: name=checkpoint[,data=…][,artifact=…][,ann=…][,ann-m=…][,ann-ef=…][,workers=…][,block=…][,batch=…][,shards=…][,shard-seed=…] (repeatable; first is the default model)")
 	flag.Parse()
@@ -293,14 +301,23 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		log.Printf("%s: |V|=%d |E|=%d attrs=%d classes=%d",
-			ds.Name, ds.G.NumVertices(), ds.G.NumEdges(), ds.FeatureDim(), ds.NumClasses)
+		logger.Event("dataset",
+			gsgcn.Log("name", ds.Name),
+			gsgcn.Log("vertices", ds.G.NumVertices()),
+			gsgcn.Log("edges", ds.G.NumEdges()),
+			gsgcn.Log("attrs", ds.FeatureDim()),
+			gsgcn.Log("classes", ds.NumClasses))
 		dsCache[path] = ds
 		return ds, nil
 	}
 
 	reg := gsgcn.NewModelRegistry()
 	defer reg.Close()
+	if !*noLog {
+		// Before the Add loop: models capture the access logger at
+		// registration time.
+		reg.SetAccessLog(logger)
+	}
 	for _, spec := range specs {
 		if spec.Artifact == "auto" {
 			spec.Artifact = spec.Checkpoint + ".art"
@@ -340,23 +357,30 @@ func main() {
 		if st.WarmStart {
 			how = "warm-started from " + spec.Artifact
 		} else if st.WarmNote != "" {
-			log.Printf("model %q: artifact %s unusable (%s), fell back to the full compute",
-				spec.Name, spec.Artifact, st.WarmNote)
+			logger.Event("artifact_fallback",
+				gsgcn.Log("model", spec.Name),
+				gsgcn.Log("artifact", spec.Artifact),
+				gsgcn.Log("reason", st.WarmNote))
 		}
-		shape := "serving"
-		if spec.Shards > 1 {
-			shape = fmt.Sprintf("serving %d shards of", spec.Shards)
-		}
-		log.Printf("model %q: %s %s (model_version %d, embedding dim %d, %s in %v)",
-			spec.Name, shape, spec.Checkpoint, st.ModelVersion, st.Dim(), how,
-			time.Since(start).Round(time.Millisecond))
+		logger.Event("model_loaded",
+			gsgcn.Log("model", spec.Name),
+			gsgcn.Log("checkpoint", spec.Checkpoint),
+			gsgcn.Log("model_version", st.ModelVersion),
+			gsgcn.Log("dim", st.Dim()),
+			gsgcn.Log("shards", spec.Shards),
+			gsgcn.Log("snapshot", how),
+			gsgcn.Log("dur_ms", time.Since(start)))
 	}
 	if wantDefault != "" {
 		if err := reg.SetDefault(wantDefault); err != nil {
 			fatal(err)
 		}
 	}
-	log.Printf("default model: %q (legacy unprefixed routes)", reg.Default())
+	logger.Event("default_model", gsgcn.Log("model", reg.Default()))
+
+	if *pprofAt != "" {
+		go servePprof(*pprofAt)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: reg}
 
@@ -365,7 +389,7 @@ func main() {
 	done := make(chan struct{})
 	go handleSignals(sigs, httpSrv, reg, 10*time.Second, done)
 
-	log.Printf("listening on %s", *addr)
+	logger.Event("listening", gsgcn.Log("addr", *addr), gsgcn.Log("models", len(specs)))
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
@@ -392,12 +416,14 @@ func handleSignals(sigs <-chan os.Signal, httpSrv *http.Server, reg *gsgcn.Model
 			reloadFleet(reg)
 			continue
 		}
-		log.Printf("shutting down on %v", sig)
+		logger.Event("shutdown", gsgcn.Log("signal", sig.String()))
 		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		err := httpSrv.Shutdown(ctx)
 		cancel()
 		if err != nil {
-			log.Printf("shutdown: %v (in-flight requests may have been dropped)", err)
+			logger.Event("shutdown_error",
+				gsgcn.Log("error", err.Error()),
+				gsgcn.Log("note", "in-flight requests may have been dropped"))
 		}
 		reg.Close()
 		return
@@ -413,12 +439,34 @@ func reloadFleet(reg *gsgcn.ModelRegistry) {
 	failures := reg.ReloadAll()
 	for _, name := range names {
 		if err, failed := failures[name]; failed {
-			log.Printf("model %q: reload failed, still serving the previous snapshot: %v", name, err)
+			logger.Event("reload",
+				gsgcn.Log("model", name),
+				gsgcn.Log("ok", false),
+				gsgcn.Log("error", err.Error()),
+				gsgcn.Log("note", "still serving the previous snapshot"))
 		} else {
-			log.Printf("model %q: hot-reloaded", name)
+			logger.Event("reload", gsgcn.Log("model", name), gsgcn.Log("ok", true))
 		}
 	}
 	if len(failures) > 0 {
-		log.Printf("fleet reload: %d of %d models failed", len(failures), len(names))
+		logger.Event("fleet_reload",
+			gsgcn.Log("failed", len(failures)),
+			gsgcn.Log("models", len(names)))
+	}
+}
+
+// servePprof exposes net/http/pprof on its own listener, never on the
+// serving address: profiling is an operator tool, and keeping it off
+// the public mux means enabling it cannot widen the serving surface.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Event("pprof", gsgcn.Log("addr", addr))
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Event("pprof_error", gsgcn.Log("error", err.Error()))
 	}
 }

@@ -35,6 +35,7 @@ func main() {
 		sampler = flag.String("sampler", "frontier", "sampler: frontier|random-node|random-edge|random-walk|forest-fire")
 		save    = flag.String("save", "", "write model checkpoint to this path after training")
 		load    = flag.String("load", "", "restore model checkpoint from this path before training")
+		metrics = flag.String("metrics-out", "", "dump training metrics (epoch wall time, loss, F1) to this file in Prometheus text format")
 	)
 	flag.Parse()
 
@@ -82,14 +83,43 @@ func main() {
 		tr = gsgcn.NewTrainerWithSampler(ds, model, s)
 	}
 
+	// The same metrics core that backs /metrics in gsgcn-serve records
+	// the training run; -metrics-out dumps it in the same text format,
+	// so one toolchain parses both. Observation only — the loss trace
+	// is bit-identical with or without it.
+	mreg := gsgcn.NewMetricsRegistry()
+	labels := map[string]string{"dataset": ds.Name}
+	var (
+		epochSecs = mreg.Histogram("gsgcn_train_epoch_seconds",
+			"Wall time per training epoch.", labels, gsgcn.DurationBuckets)
+		epochsRun = mreg.Counter("gsgcn_train_epochs_total",
+			"Training epochs completed.", labels)
+		lastLoss = mreg.Gauge("gsgcn_train_loss",
+			"Training loss after the most recent epoch.", labels)
+		lastF1 = mreg.Gauge("gsgcn_train_val_f1",
+			"Validation micro-F1 after the most recent epoch.", labels)
+	)
+
 	start := time.Now()
 	for e := 1; e <= *epochs; e++ {
+		epochStart := time.Now()
 		loss := tr.Epoch()
+		epochSecs.Observe(time.Since(epochStart).Seconds())
+		epochsRun.Inc()
 		f1 := tr.Evaluate(ds.ValIdx)
+		lastLoss.Set(loss)
+		lastF1.Set(f1)
 		fmt.Printf("epoch %3d  loss %.4f  val-F1 %.4f  elapsed %.1fs\n",
 			e, loss, f1, time.Since(start).Seconds())
 	}
 	fmt.Printf("test-F1 %.4f\n", tr.Evaluate(ds.TestIdx))
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, mreg); err != nil {
+			fmt.Fprintln(os.Stderr, "gsgcn-train:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote metrics", *metrics)
+	}
 	seg := tr.Timer.Segments()
 	fmt.Printf("time breakdown: sampling %.2fs  featprop %.2fs  weight %.2fs\n",
 		seg["sampling"].Seconds(), seg["featprop"].Seconds(), seg["weight"].Seconds())
@@ -104,4 +134,17 @@ func main() {
 		}
 		fmt.Printf("saved checkpoint %s (model_version %d)\n", *save, model.ModelVersion)
 	}
+}
+
+// writeMetrics dumps the registry in Prometheus text format.
+func writeMetrics(path string, reg *gsgcn.MetricsRegistry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -35,6 +35,7 @@ import (
 	"gsgcn/internal/core"
 	"gsgcn/internal/datasets"
 	"gsgcn/internal/graph"
+	"gsgcn/internal/obs"
 	"gsgcn/internal/sampler"
 	"gsgcn/internal/serve"
 )
@@ -89,6 +90,17 @@ type (
 	ServingArtifact = artifact.Snapshot
 	// ArtifactMeta identifies what a serving artifact was computed from.
 	ArtifactMeta = artifact.Meta
+	// MetricsRegistry is the observability plane's metric store:
+	// atomic counters, gauges and fixed-bucket histograms rendered in
+	// Prometheus text exposition format (served at /metrics). Every
+	// model in a ModelRegistry reports into one shared instance.
+	MetricsRegistry = obs.Registry
+	// StructuredLogger emits JSON-line logs with a process-wide
+	// monotonic request-id sequence; wire one into a ModelRegistry
+	// with SetAccessLog for per-request access logging.
+	StructuredLogger = obs.Logger
+	// LogField is one key/value pair of a structured log line.
+	LogField = obs.Field
 )
 
 // BuildServingArtifact computes the serving tables for (ds, m) offline
@@ -198,6 +210,21 @@ func NewShardedServer(ds *Dataset, opts ServeOptions, shards int, seed uint64) (
 // shared between them automatically), pick a default, and mount the
 // registry as an http.Handler.
 func NewModelRegistry() *ModelRegistry { return serve.NewRegistry() }
+
+// NewMetricsRegistry returns an empty metrics registry — for training
+// or embedding use; serving code normally uses the registry a
+// ModelRegistry creates itself (ModelRegistry.Metrics).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewStructuredLogger returns a logger writing JSON lines to w.
+func NewStructuredLogger(w io.Writer) *StructuredLogger { return obs.NewLogger(w) }
+
+// Log builds one field of a structured log line.
+func Log(key string, val any) LogField { return obs.F(key, val) }
+
+// DurationBuckets are histogram bounds suited to long-running work
+// (training epochs, index builds): 0.1s to 10 minutes.
+var DurationBuckets = obs.DurationBuckets
 
 // DatasetFingerprint hashes a dataset's content — graph structure,
 // feature bits and label regime. Models registered over datasets with

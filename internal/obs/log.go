@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Field is one key/value pair of a structured log line.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// Logger emits structured JSON lines: one object per line, fields in
+// call order after the fixed ts/event prefix, keys and rendering
+// deterministic. It also owns the process's monotonic request-id
+// sequence (NextID), so every subsystem logging through one Logger
+// shares one id space.
+//
+// Lines are small and built into a per-call buffer, then written under
+// one mutex-guarded Write so concurrent events never interleave
+// bytes. The zero Logger is not usable; a nil *Logger is: every
+// method is a no-op, so call sites need no guards.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq atomic.Uint64
+
+	// now is the clock; tests pin it for golden output.
+	now func() time.Time
+}
+
+// NewLogger returns a Logger writing JSON lines to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, now: time.Now}
+}
+
+// NextID returns the next monotonic request id (1, 2, 3, …).
+func (l *Logger) NextID() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.seq.Add(1)
+}
+
+// Event writes one line: {"ts":"…","event":event,fields…}.
+func (l *Logger) Event(event string, fields ...Field) {
+	if l == nil {
+		return
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"ts":`...)
+	buf = strconv.AppendQuote(buf, l.now().UTC().Format(time.RFC3339Nano))
+	buf = append(buf, `,"event":`...)
+	buf = strconv.AppendQuote(buf, event)
+	for _, f := range fields {
+		buf = append(buf, ',')
+		buf = strconv.AppendQuote(buf, f.Key)
+		buf = append(buf, ':')
+		buf = appendValue(buf, f.Val)
+	}
+	buf = append(buf, '}', '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(buf)
+	l.mu.Unlock()
+}
+
+// appendValue renders a field value as JSON. Durations render as
+// fractional milliseconds (duration_ms convention); unknown types fall
+// back to their quoted Go formatting so a line can never be invalid
+// JSON.
+func appendValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return strconv.AppendQuote(buf, x)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int32:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case uint:
+		return strconv.AppendUint(buf, uint64(x), 10)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case time.Duration:
+		return strconv.AppendFloat(buf, float64(x)/float64(time.Millisecond), 'g', -1, 64)
+	case error:
+		return strconv.AppendQuote(buf, x.Error())
+	default:
+		return strconv.AppendQuote(buf, anyString(x))
+	}
+}
+
+// anyString formats a value of unanticipated type.
+func anyString(v any) string { return fmt.Sprintf("%v", v) }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gsgcn/internal/mat"
 )
@@ -29,9 +30,15 @@ type batcher struct {
 
 	// batches/queries count dispatched batches and the queries they
 	// carried; queries/batches is the observed coalescing factor
-	// (reported by /healthz and asserted by tests).
+	// (reported by /healthz and asserted by tests). The batches count
+	// doubles as the batch-id sequence: every dispatched batch gets
+	// the post-increment value as its id, carried on responses so
+	// request logs can show which queries coalesced together.
 	batches atomic.Uint64
 	queries atomic.Uint64
+
+	// inst is wired by instrument (nil on an unobserved batcher).
+	inst *batcherInst
 }
 
 type batchReq struct {
@@ -43,6 +50,7 @@ type batchReq struct {
 type batchResp struct {
 	embed *EmbedResult
 	pred  *PredictResult
+	batch uint64 // id of the dispatched batch that answered (0 on error)
 	err   error
 }
 
@@ -107,16 +115,18 @@ func (b *batcher) loop() {
 	}
 }
 
-// Embed answers an embedding query through the micro-batching path.
-func (b *batcher) Embed(ids []int) (*EmbedResult, error) {
+// Embed answers an embedding query through the micro-batching path,
+// also reporting the id of the batch that carried it.
+func (b *batcher) Embed(ids []int) (*EmbedResult, uint64, error) {
 	resp := b.submit(ids, false)
-	return resp.embed, resp.err
+	return resp.embed, resp.batch, resp.err
 }
 
-// Predict answers a prediction query through the micro-batching path.
-func (b *batcher) Predict(ids []int) (*PredictResult, error) {
+// Predict answers a prediction query through the micro-batching path,
+// also reporting the id of the batch that carried it.
+func (b *batcher) Predict(ids []int) (*PredictResult, uint64, error) {
 	resp := b.submit(ids, true)
-	return resp.pred, resp.err
+	return resp.pred, resp.batch, resp.err
 }
 
 func (b *batcher) submit(ids []int, predict bool) batchResp {
@@ -141,6 +151,10 @@ func (b *batcher) submit(ids []int, predict bool) batchResp {
 // pass, one row gather for every queried id, and — when any request
 // wants predictions — one head GEMM over the union.
 func (b *batcher) run(batch []*batchReq) {
+	var start time.Time
+	if b.inst != nil {
+		start = time.Now()
+	}
 	st, err := b.eng.Snapshot()
 	if err != nil {
 		for _, r := range batch {
@@ -163,8 +177,12 @@ func (b *batcher) run(batch []*batchReq) {
 		all = append(all, rows...)
 		anyPredict = anyPredict || r.predict
 	}
-	b.batches.Add(1)
+	id := b.batches.Add(1)
 	b.queries.Add(uint64(len(batch)))
+	if b.inst != nil {
+		b.inst.batchSize.Observe(float64(len(all)))
+		defer func() { b.inst.flush.Observe(time.Since(start).Seconds()) }()
+	}
 	if len(live) == 0 {
 		return
 	}
@@ -179,7 +197,7 @@ func (b *batcher) run(batch []*batchReq) {
 	off := 0
 	for _, r := range live {
 		if r.predict {
-			r.out <- batchResp{pred: predictionsFromLogits(st, r.ids, logits, off)}
+			r.out <- batchResp{pred: predictionsFromLogits(st, r.ids, logits, off), batch: id}
 		} else {
 			res := &EmbedResult{
 				Version:      st.Version,
@@ -193,7 +211,7 @@ func (b *batcher) run(batch []*batchReq) {
 				copy(v, h.Row(off+i))
 				res.Vectors[i] = v
 			}
-			r.out <- batchResp{embed: res}
+			r.out <- batchResp{embed: res, batch: id}
 		}
 		off += len(r.ids)
 	}

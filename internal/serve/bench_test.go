@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"fmt"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
@@ -30,7 +32,7 @@ func BenchmarkServeEmbed(b *testing.B) {
 		b.RunParallel(func(pb *testing.PB) {
 			i := 0
 			for pb.Next() {
-				if _, err := bat.Embed([]int{i % 2000}); err != nil {
+				if _, _, err := bat.Embed([]int{i % 2000}); err != nil {
 					b.Error(err)
 					return
 				}
@@ -138,6 +140,46 @@ func BenchmarkWarmVsColdStart(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkObsOverhead prices the observability middleware on the
+// /embed hot path: "instrumented" goes through Server.ServeHTTP (the
+// metrics middleware wrapping the mux), "bare" dispatches on the mux
+// directly. The gap between the two is the whole cost of /metrics
+// instrumentation per request — the acceptance bar is under 3%.
+func BenchmarkObsOverhead(b *testing.B) {
+	ds := datasets.Generate(datasets.Config{
+		Name: "obs-bench", Vertices: 2000, TargetEdges: 16000,
+		FeatureDim: 32, NumClasses: 8, Seed: 7,
+	})
+	m := testModel(b, ds, 2, "mean")
+	srv := NewServer(ds, Options{})
+	defer srv.Close()
+	if _, err := srv.Engine().Install(m); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, instrumented bool) {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				req := httptest.NewRequest("GET", fmt.Sprintf("/embed?ids=%d", i%2000), nil)
+				rec := httptest.NewRecorder()
+				if instrumented {
+					srv.ServeHTTP(rec, req)
+				} else {
+					srv.mux.ServeHTTP(rec, req)
+				}
+				if rec.Code != 200 {
+					b.Errorf("status %d: %s", rec.Code, rec.Body)
+					return
+				}
+				i++
+			}
+		})
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkFullEmbeddings tracks the cost of one full-graph

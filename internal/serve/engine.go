@@ -37,6 +37,7 @@ import (
 	"gsgcn/internal/graph"
 	"gsgcn/internal/mat"
 	"gsgcn/internal/nn"
+	"gsgcn/internal/obs"
 	"gsgcn/internal/partition"
 	"gsgcn/internal/perf"
 )
@@ -94,6 +95,21 @@ type Options struct {
 	// ShardSeed keys the deterministic vertex-shard assignment; every
 	// engine of one fleet (and the artifact builder) must share it.
 	ShardSeed uint64
+	// Obs is the metrics registry this engine (and the request layer
+	// above it) reports into. Nil makes NewServer/NewRouter create a
+	// private one; a raw NewEngine with nil Obs is simply unobserved.
+	// Metrics are observation-only: nothing on a query or reload path
+	// ever reads them back, so answers are bit-identical with
+	// instrumentation on or off.
+	Obs *obs.Registry
+	// ModelName labels this engine's metric series (and request log
+	// lines). The registry sets it to the registered model name;
+	// empty means "default".
+	ModelName string
+	// AccessLog, when set, makes the request layer emit one
+	// structured JSON line per HTTP request (id, model, endpoint,
+	// status, latency, fan-out, batch id).
+	AccessLog *obs.Logger
 }
 
 // sharded reports whether the options describe a shard engine rather
@@ -130,6 +146,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ANNEf == 0 {
 		o.ANNEf = 64
+	}
+	if o.ModelName == "" {
+		o.ModelName = defaultModelName
 	}
 	return o
 }
@@ -289,6 +308,9 @@ func NewEngine(ds *datasets.Dataset, opts Options) *Engine {
 	}
 	if opts.sharded() {
 		e.owned = opts.shardMap().Owned(ds.G.NumVertices(), opts.ShardIndex)
+	}
+	if opts.Obs != nil {
+		e.registerMetrics(opts.Obs)
 	}
 	return e
 }

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gsgcn/internal/obs"
+)
+
+// defaultModelName labels the metrics of a server built without an
+// explicit model name (the single-model deployments of PR 2–4).
+const defaultModelName = "default"
+
+// epOther is the catch-all endpoint label for unrecognized paths.
+// Folding every unknown path into one value means request paths can
+// never mint new label values — the cardinality bound the obs package
+// promises.
+const epOther = "other"
+
+// statusClasses are the bounded status-code label values: one per
+// HTTP status family rather than one per code.
+var statusClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
+
+// endpointMetrics holds one endpoint's pre-registered handles so the
+// request path is an array index plus atomic adds — no registry
+// lookup, no lock, no allocation.
+type endpointMetrics struct {
+	byClass [4]*obs.Counter
+	latency *obs.Histogram
+}
+
+// modelMetrics instruments one model server's HTTP surface: the
+// shared middleware every layer (Server, Router, Registry) routes
+// requests through. It owns the per-endpoint request/latency/error
+// handles and, when an access logger is wired, emits one structured
+// JSON line per request.
+type modelMetrics struct {
+	reg       *obs.Registry
+	model     string
+	log       *obs.Logger
+	endpoints map[string]*endpointMetrics
+}
+
+// newModelMetrics pre-registers handles for the given endpoint
+// patterns (plus the catch-all) under the model label. Eager
+// registration keeps the hot path lock-free and makes every series —
+// including never-hit endpoints — visible to scrapers from the first
+// request.
+func newModelMetrics(reg *obs.Registry, model string, log *obs.Logger, endpoints []string) *modelMetrics {
+	mm := &modelMetrics{
+		reg:       reg,
+		model:     model,
+		log:       log,
+		endpoints: make(map[string]*endpointMetrics, len(endpoints)+1),
+	}
+	for _, ep := range endpoints {
+		mm.endpoints[ep] = newEndpointMetrics(reg, model, ep)
+	}
+	mm.endpoints[epOther] = newEndpointMetrics(reg, model, epOther)
+	return mm
+}
+
+func newEndpointMetrics(reg *obs.Registry, model, ep string) *endpointMetrics {
+	em := &endpointMetrics{}
+	for i, class := range statusClasses {
+		em.byClass[i] = reg.Counter("gsgcn_http_requests_total",
+			"HTTP requests served, by model, endpoint and status class.",
+			map[string]string{"model": model, "endpoint": ep, "code": class})
+	}
+	em.latency = reg.Histogram("gsgcn_http_request_duration_seconds",
+		"HTTP request latency in seconds, by model and endpoint.",
+		map[string]string{"model": model, "endpoint": ep}, obs.LatencyBuckets)
+	return em
+}
+
+// endpointPatterns flattens route tables into the endpoint label
+// values to pre-register.
+func endpointPatterns(tables ...[]RouteDoc) []string {
+	var out []string
+	for _, t := range tables {
+		for _, e := range t {
+			out = append(out, e.Pattern)
+		}
+	}
+	return out
+}
+
+// statusWriter records the status code a handler wrote (200 when it
+// wrote a body without an explicit WriteHeader).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// annotKey keys the per-request annotation in the request context.
+type annotKey struct{}
+
+// reqAnnot carries observability facts a handler learns mid-flight —
+// scatter fan-out width, micro-batch id — back to the middleware for
+// the request log line. It is written and read on the one goroutine
+// serving the request.
+type reqAnnot struct {
+	fanout int
+	batch  uint64
+}
+
+// annotFanout records how many shards a request scattered to.
+func annotFanout(ctx context.Context, n int) {
+	if a, ok := ctx.Value(annotKey{}).(*reqAnnot); ok {
+		a.fanout = n
+	}
+}
+
+// annotBatch records the micro-batch id that answered a request.
+func annotBatch(ctx context.Context, id uint64) {
+	if a, ok := ctx.Value(annotKey{}).(*reqAnnot); ok {
+		a.batch = id
+	}
+}
+
+// serve runs h under the shared middleware: a status-class counter
+// bump, one latency observation, and (when an access logger is wired)
+// one JSON request line carrying the process-wide monotonic request
+// id. endpoint must be one of the pre-registered patterns; anything
+// else folds into the catch-all. A nil receiver (a hand-wired server
+// with no instruments) serves h directly — observation is optional
+// everywhere by construction.
+func (mm *modelMetrics) serve(endpoint string, h http.Handler, w http.ResponseWriter, r *http.Request) {
+	if mm == nil {
+		h.ServeHTTP(w, r)
+		return
+	}
+	em := mm.endpoints[endpoint]
+	if em == nil {
+		endpoint, em = epOther, mm.endpoints[epOther]
+	}
+	var (
+		id uint64
+		an *reqAnnot
+	)
+	if mm.log != nil {
+		id = mm.log.NextID()
+		an = &reqAnnot{}
+		r = r.WithContext(context.WithValue(r.Context(), annotKey{}, an))
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	h.ServeHTTP(sw, r)
+	dur := time.Since(start)
+	code := sw.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	class := code/100 - 2
+	if class < 0 {
+		class = 0
+	}
+	if class > 3 {
+		class = 3
+	}
+	em.byClass[class].Inc()
+	em.latency.Observe(dur.Seconds())
+	if mm.log != nil {
+		fields := make([]obs.Field, 0, 8)
+		fields = append(fields,
+			obs.F("id", id),
+			obs.F("model", mm.model),
+			obs.F("endpoint", endpoint),
+			obs.F("method", r.Method),
+			obs.F("status", code),
+			obs.F("dur_ms", dur),
+		)
+		if an.fanout > 0 {
+			fields = append(fields, obs.F("fanout", an.fanout))
+		}
+		if an.batch > 0 {
+			fields = append(fields, obs.F("batch", an.batch))
+		}
+		mm.log.Event("request", fields...)
+	}
+}
+
+// handleMetrics renders the model-scoped scrape: only series labeled
+// with this model's name. The registry's bare /metrics renders the
+// whole shared registry instead.
+func (mm *modelMetrics) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, fmt.Errorf("%w: %s", errMethod, r.Method))
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	_ = mm.reg.WriteFiltered(w, func(l map[string]string) bool { return l["model"] == mm.model })
+}
+
+// registerMetrics exports the engine's snapshot gauges: every reader
+// loads the atomic state pointer, so a scrape can never wait on
+// reloadMu however slow a concurrent snapshot build is.
+func (e *Engine) registerMetrics(reg *obs.Registry) {
+	labels := map[string]string{"model": e.opts.ModelName}
+	if e.opts.sharded() {
+		labels["shard"] = strconv.Itoa(e.opts.ShardIndex)
+	}
+	reg.GaugeFunc("gsgcn_snapshot_version",
+		"Swap generation of the serving snapshot (0 = no model loaded).",
+		labels, func() float64 {
+			if st := e.state.Load(); st != nil {
+				return float64(st.Version)
+			}
+			return 0
+		})
+	reg.GaugeFunc("gsgcn_snapshot_warm_start",
+		"1 when the serving snapshot warm-started from a persisted artifact.",
+		labels, func() float64 {
+			if st := e.state.Load(); st != nil && st.WarmStart {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("gsgcn_index_resident",
+		"1 when the snapshot's ANN index is built and resident.",
+		labels, func() float64 {
+			if st := e.state.Load(); st != nil && st.IndexReady() {
+				return 1
+			}
+			return 0
+		})
+}
+
+// batcherInst holds the micro-batcher's histogram handles (nil on an
+// unobserved batcher, e.g. one built directly in a benchmark).
+type batcherInst struct {
+	batchSize *obs.Histogram
+	flush     *obs.Histogram
+}
+
+// instrument exports the batcher's queue and dispatch metrics. The
+// counts the batcher already tracks in its own atomics surface as
+// func-backed series — no double accounting — and queue depth reads
+// the channel length at scrape time. Call before the batcher takes
+// traffic.
+func (b *batcher) instrument(reg *obs.Registry, labels map[string]string) {
+	reg.GaugeFunc("gsgcn_batcher_queue_depth",
+		"Requests queued in the micro-batcher awaiting dispatch.",
+		labels, func() float64 { return float64(len(b.reqs)) })
+	reg.CounterFunc("gsgcn_batcher_batches_total",
+		"Micro-batches dispatched.",
+		labels, func() float64 { return float64(b.batches.Load()) })
+	reg.CounterFunc("gsgcn_batcher_queries_total",
+		"Queries carried by dispatched micro-batches.",
+		labels, func() float64 { return float64(b.queries.Load()) })
+	b.inst = &batcherInst{
+		batchSize: reg.Histogram("gsgcn_batcher_batch_size",
+			"Vertex ids per dispatched micro-batch.",
+			labels, obs.SizeBuckets),
+		flush: reg.Histogram("gsgcn_batcher_flush_duration_seconds",
+			"Wall time to answer one dispatched micro-batch.",
+			labels, obs.LatencyBuckets),
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"gsgcn/internal/core"
 	"gsgcn/internal/datasets"
+	"gsgcn/internal/obs"
 )
 
 // Registry serves N independent models from one process. Each model
@@ -44,6 +45,14 @@ type Registry struct {
 	// content once, not N times.
 	data   map[uint64]*datasets.Dataset
 	dataFP map[*datasets.Dataset]uint64
+
+	// obs is the shared metrics registry every registered model
+	// reports into, each under its own model label; the registry's
+	// own endpoints report under model="". /metrics renders the whole
+	// thing, /models/{name}/metrics one model's rows.
+	obs       *obs.Registry
+	accessLog *obs.Logger
+	inst      *modelMetrics
 }
 
 // ModelServer is what the registry requires of one registered model:
@@ -60,6 +69,7 @@ type ModelServer interface {
 	Close()
 	health() healthBody
 	modelInfo() modelInfo
+	instruments() *modelMetrics
 }
 
 // modelInfo is the configuration summary a ModelServer reports for
@@ -74,11 +84,40 @@ type modelInfo struct {
 // NewRegistry returns an empty registry. Add at least one model and
 // set (or default) a default before serving legacy routes.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		models: make(map[string]ModelServer),
 		data:   make(map[uint64]*datasets.Dataset),
 		dataFP: make(map[*datasets.Dataset]uint64),
+		obs:    obs.NewRegistry(),
 	}
+	r.inst = newModelMetrics(r.obs, "", nil, []string{"/models", "/metrics"})
+	return r
+}
+
+// Metrics returns the shared metrics registry every registered model
+// reports into (rendered by GET /metrics).
+func (r *Registry) Metrics() *obs.Registry { return r.obs }
+
+// SetAccessLog wires a structured request logger: every model added
+// afterwards (and the registry's own endpoints) emits one JSON line
+// per request through it, sharing one monotonic request-id space.
+// Call before Add/AddSharded and before serving traffic.
+func (r *Registry) SetAccessLog(l *obs.Logger) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.accessLog = l
+	r.inst.log = l
+}
+
+// observe points a model's options at the registry's shared metrics
+// registry and access logger, labeling its series by model name.
+func (r *Registry) observe(name string, opts Options) Options {
+	opts.Obs = r.obs
+	opts.ModelName = name
+	r.mu.RLock()
+	opts.AccessLog = r.accessLog
+	r.mu.RUnlock()
+	return opts
 }
 
 // validModelName reports whether name can appear as a path segment:
@@ -100,6 +139,7 @@ func validModelName(name string) bool {
 // one graph's memory. No checkpoint is loaded yet; call Load on the
 // returned server.
 func (r *Registry) Add(name string, ds *datasets.Dataset, opts Options) (*Server, error) {
+	opts = r.observe(name, opts)
 	var srv *Server
 	err := r.register(name, ds, func(ds *datasets.Dataset) (ModelServer, error) {
 		srv = NewServer(ds, opts)
@@ -117,6 +157,7 @@ func (r *Registry) Add(name string, ds *datasets.Dataset, opts Options) (*Server
 // election — applies identically; the registered model additionally
 // serves the /shards operations (see Router).
 func (r *Registry) AddSharded(name string, ds *datasets.Dataset, opts Options, shards int, seed uint64) (*Router, error) {
+	opts = r.observe(name, opts)
 	var rt *Router
 	err := r.register(name, ds, func(ds *datasets.Dataset) (ModelServer, error) {
 		var err error
@@ -294,31 +335,56 @@ func (r *Registry) handleList(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-// ServeHTTP routes requests: /models lists, /models/{name}/… hits the
-// named model, anything else is the legacy single-model surface and
-// goes to the default model's own mux byte-for-byte.
+// handleMetrics serves the global scrape: every family and series in
+// the shared registry, across all models and the registry itself.
+func (r *Registry) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeErr(w, fmt.Errorf("%w: %s", errMethod, req.Method))
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	_ = r.obs.WriteText(w)
+}
+
+// ServeHTTP routes requests: /models lists, /metrics is the global
+// scrape (all models' rows — the per-model view is
+// /models/{name}/metrics), /models/{name}/… hits the named model, and
+// anything else is the legacy single-model surface and goes to the
+// default model's own mux byte-for-byte. Every branch runs under an
+// obs middleware: model-addressed requests under the model's own
+// instruments, registry-level ones (listing, global scrape, unknown
+// names) under the registry's.
 func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	path := req.URL.Path
 	if path == "/models" || path == "/models/" {
-		r.handleList(w, req)
+		r.inst.serve("/models", http.HandlerFunc(r.handleList), w, req)
+		return
+	}
+	if path == "/metrics" {
+		r.inst.serve("/metrics", http.HandlerFunc(r.handleMetrics), w, req)
 		return
 	}
 	if rest, ok := strings.CutPrefix(path, "/models/"); ok {
 		name, sub, _ := strings.Cut(rest, "/")
 		srv, found := r.Get(name)
 		if !found {
-			writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("serve: unknown model %q", name)})
+			r.inst.serve(epOther, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("serve: unknown model %q", name)})
+			}), w, req)
 			return
 		}
 		if sub == "" || sub == "healthz" {
 			// Per-model health: the extended status body (a superset of
 			// the legacy /healthz fields, plus index residency), also
-			// served at the bare /models/{name}.
-			if req.Method != http.MethodGet {
-				writeErr(w, fmt.Errorf("%w: %s", errMethod, req.Method))
-				return
-			}
-			writeJSON(w, http.StatusOK, r.statusFor(name, srv))
+			// served at the bare /models/{name}. Billed to the model's
+			// /healthz endpoint — it is that model's health surface.
+			srv.instruments().serve("/healthz", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				if req.Method != http.MethodGet {
+					writeErr(w, fmt.Errorf("%w: %s", errMethod, req.Method))
+					return
+				}
+				writeJSON(w, http.StatusOK, r.statusFor(name, srv))
+			}), w, req)
 			return
 		}
 		for _, e := range perModelEndpoints {
@@ -339,7 +405,9 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			// Shard operations exist only on sharded models; the Router
 			// hand-routes the exact sub-path itself.
 			if _, sharded := srv.(*Router); !sharded {
-				writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("serve: model %q is not sharded", name)})
+				srv.instruments().serve(epOther, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+					writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("serve: model %q is not sharded", name)})
+				}), w, req)
 				return
 			}
 			req2 := new(http.Request)
@@ -350,12 +418,16 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			srv.ServeHTTP(w, req2)
 			return
 		}
-		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("serve: unknown endpoint %q for model %q", sub, name)})
+		r.inst.serve(epOther, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("serve: unknown endpoint %q for model %q", sub, name)})
+		}), w, req)
 		return
 	}
 	def := r.Default()
 	if def == "" {
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "serve: no models registered"})
+		r.inst.serve(epOther, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "serve: no models registered"})
+		}), w, req)
 		return
 	}
 	srv, _ := r.Get(def)

@@ -13,6 +13,7 @@ import (
 	"gsgcn/internal/core"
 	"gsgcn/internal/datasets"
 	"gsgcn/internal/mat"
+	"gsgcn/internal/obs"
 	"gsgcn/internal/partition"
 )
 
@@ -48,9 +49,20 @@ type Router struct {
 	opts    Options // resolved; ShardCount/ShardSeed describe the fleet
 	sm      partition.ShardMap
 	engines []*Engine
-	down    []atomic.Bool
+	// bats micro-batch each shard's scattered sub-queries, exactly as
+	// a single-engine server batches whole queries: concurrent
+	// requests whose ids land on one shard coalesce into one gather
+	// there. Per-shard counts aggregate into the router's health body.
+	bats []*batcher
+	down []atomic.Bool
 
 	closed atomic.Bool
+
+	// inst is the shared obs middleware; degraded counts queries
+	// refused because their owning shard was down plus top-K answers
+	// assembled while any shard was down (observation-only).
+	inst     *modelMetrics
+	degraded *obs.Counter
 
 	mu       sync.Mutex
 	ckptPath string
@@ -86,6 +98,9 @@ func NewRouter(ds *datasets.Dataset, opts Options, shards int, seed uint64) (*Ro
 		return nil, fmt.Errorf("serve: shard count must be >= 1, got %d", shards)
 	}
 	opts = opts.withDefaults()
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
 	opts.ShardCount = shards
 	opts.ShardIndex = 0
 	opts.ShardSeed = seed
@@ -94,6 +109,7 @@ func NewRouter(ds *datasets.Dataset, opts Options, shards int, seed uint64) (*Ro
 		opts:    opts,
 		sm:      partition.ShardMap{Shards: shards, Seed: seed},
 		engines: make([]*Engine, shards),
+		bats:    make([]*batcher, shards),
 		down:    make([]atomic.Bool, shards),
 		artBase: opts.ArtifactPath,
 		cache:   make(map[topkKey]*TopKResult),
@@ -105,6 +121,23 @@ func NewRouter(ds *datasets.Dataset, opts Options, shards int, seed uint64) (*Ro
 			o.ArtifactPath = artifact.ShardPath(o.ArtifactPath, i, shards)
 		}
 		rt.engines[i] = NewEngine(ds, o)
+		rt.bats[i] = newBatcher(rt.engines[i], opts.MaxBatch)
+		rt.bats[i].instrument(opts.Obs, map[string]string{"model": opts.ModelName, "shard": strconv.Itoa(i)})
+	}
+	rt.inst = newModelMetrics(opts.Obs, opts.ModelName, opts.AccessLog, endpointPatterns(perModelEndpoints, shardEndpoints))
+	rt.degraded = opts.Obs.Counter("gsgcn_degraded_queries_total",
+		"Queries refused because their owning shard was down, plus top-K answers assembled without a down shard's vertices.",
+		map[string]string{"model": opts.ModelName})
+	for i := range rt.engines {
+		idx := i
+		opts.Obs.GaugeFunc("gsgcn_shard_up", "1 when the shard is in service, 0 while stopped.",
+			map[string]string{"model": opts.ModelName, "shard": strconv.Itoa(idx)},
+			func() float64 {
+				if rt.down[idx].Load() {
+					return 0
+				}
+				return 1
+			})
 	}
 	return rt, nil
 }
@@ -198,9 +231,15 @@ func (rt *Router) installAll(m *core.Model) (uint64, error) {
 	return version, nil
 }
 
-// Close marks the router closed; subsequent queries fail with the
-// same retryable error a closed single-engine server returns.
-func (rt *Router) Close() { rt.closed.Store(true) }
+// Close marks the router closed and stops every shard's micro-batch
+// dispatcher; subsequent queries fail with the same retryable error a
+// closed single-engine server returns.
+func (rt *Router) Close() {
+	rt.closed.Store(true)
+	for _, b := range rt.bats {
+		b.close()
+	}
+}
 
 // StopShard takes shard i out of service: its vertices stop
 // answering (503) and /healthz reports the fleet degraded. The
@@ -240,6 +279,7 @@ func (rt *Router) group(ids []int) (groups [][]int, owners []int, err error) {
 		}
 		o := rt.sm.Assign(int32(id))
 		if rt.down[o].Load() {
+			rt.degraded.Inc()
 			return nil, nil, fmt.Errorf("%w: vertex id %d is owned by stopped shard %d", errShardDown, id, o)
 		}
 		owners[i] = o
@@ -278,18 +318,25 @@ func (rt *Router) scatter(groups [][]int, fn func(shard int, ids []int) error) e
 // and their rows are the same bits wherever they live, and the
 // version counters advance in lockstep.
 func (rt *Router) Embed(ids []int) (*EmbedResult, error) {
+	res, _, err := rt.embed(ids)
+	return res, err
+}
+
+// embed is Embed plus the scatter fan-out width (shards that owned
+// any queried id), which the HTTP layer records in the request log.
+func (rt *Router) embed(ids []int) (*EmbedResult, int, error) {
 	groups, owners, err := rt.group(ids)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	parts := make([]*EmbedResult, len(rt.engines))
 	err = rt.scatter(groups, func(s int, sub []int) error {
-		res, err := rt.engines[s].Embed(sub)
+		res, _, err := rt.bats[s].Embed(sub)
 		parts[s] = res
 		return err
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	first := parts[owners[0]]
 	res := &EmbedResult{
@@ -304,23 +351,40 @@ func (rt *Router) Embed(ids []int) (*EmbedResult, error) {
 		res.Vectors[i] = parts[o].Vectors[pos[o]]
 		pos[o]++
 	}
-	return res, nil
+	return res, fanout(groups), nil
+}
+
+// fanout counts the shards a grouped query actually scattered to.
+func fanout(groups [][]int) int {
+	n := 0
+	for _, g := range groups {
+		if len(g) > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Predict answers a prediction query by the same scatter/stitch.
 func (rt *Router) Predict(ids []int) (*PredictResult, error) {
+	res, _, err := rt.predict(ids)
+	return res, err
+}
+
+// predict is Predict plus the scatter fan-out width.
+func (rt *Router) predict(ids []int) (*PredictResult, int, error) {
 	groups, owners, err := rt.group(ids)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	parts := make([]*PredictResult, len(rt.engines))
 	err = rt.scatter(groups, func(s int, sub []int) error {
-		res, err := rt.engines[s].Predict(sub)
+		res, _, err := rt.bats[s].Predict(sub)
 		parts[s] = res
 		return err
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	first := parts[owners[0]]
 	res := &PredictResult{
@@ -338,7 +402,7 @@ func (rt *Router) Predict(ids []int) (*PredictResult, error) {
 		res.Probs[i] = parts[o].Probs[pos[o]]
 		pos[o]++
 	}
-	return res, nil
+	return res, fanout(groups), nil
 }
 
 // TopK answers a similar-nodes query in the router's default mode.
@@ -362,6 +426,7 @@ func (rt *Router) TopKWith(id, k int, mode string, ef int) (*TopKResult, error) 
 	}
 	owner := rt.sm.Assign(int32(id))
 	if rt.down[owner].Load() {
+		rt.degraded.Inc()
 		return nil, fmt.Errorf("%w: vertex id %d is owned by stopped shard %d", errShardDown, id, owner)
 	}
 	st, q, qn, err := rt.engines[owner].snapshotRow(id)
@@ -447,6 +512,9 @@ func (rt *Router) TopKWith(id, k int, mode string, ef int) (*TopKResult, error) 
 	if useANN {
 		modeStr = ModeANN
 	}
+	if anyDown {
+		rt.degraded.Inc()
+	}
 	res := &TopKResult{
 		Version:      st.Version,
 		ModelVersion: st.ModelVersion,
@@ -479,28 +547,49 @@ var shardEndpoints = []RouteDoc{
 
 // ServeHTTP implements the single-server HTTP surface plus the shard
 // operations. Paths are hand-routed (the module targets pre-1.22
-// ServeMux, which has no wildcard patterns).
+// ServeMux, which has no wildcard patterns); every request runs under
+// the obs middleware, with shard-operation paths normalized to their
+// documented patterns so a shard index can never mint a label value.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch r.URL.Path {
+	endpoint, h := rt.route(r.URL.Path)
+	rt.inst.serve(endpoint, h, w, r)
+}
+
+// route resolves a path to its handler and bounded endpoint label.
+func (rt *Router) route(path string) (string, http.HandlerFunc) {
+	switch path {
 	case "/embed":
-		rt.handleEmbed(w, r)
+		return "/embed", rt.handleEmbed
 	case "/predict":
-		rt.handlePredict(w, r)
+		return "/predict", rt.handlePredict
 	case "/topk":
-		rt.handleTopK(w, r)
+		return "/topk", rt.handleTopK
 	case "/healthz":
-		rt.handleHealthz(w, r)
+		return "/healthz", rt.handleHealthz
+	case "/metrics":
+		return "/metrics", rt.handleMetrics
 	case "/reload":
-		rt.handleReload(w, r)
+		return "/reload", rt.handleReload
 	case "/shards":
-		rt.handleShards(w, r)
-	default:
-		if rest, ok := strings.CutPrefix(r.URL.Path, "/shards/"); ok {
-			rt.handleShardOp(w, r, rest)
-			return
-		}
-		http.NotFound(w, r)
+		return "/shards", rt.handleShards
 	}
+	if rest, ok := strings.CutPrefix(path, "/shards/"); ok {
+		h := func(w http.ResponseWriter, r *http.Request) { rt.handleShardOp(w, r, rest) }
+		if _, op, _ := strings.Cut(rest, "/"); op == "stop" || op == "start" {
+			return "/shards/{i}/" + op, h
+		}
+		return epOther, h
+	}
+	return epOther, http.NotFound
+}
+
+// instruments exposes the router's obs middleware to the registry.
+func (rt *Router) instruments() *modelMetrics { return rt.inst }
+
+// handleMetrics serves the model-scoped Prometheus rows (including
+// the per-shard series, which carry this model's label).
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.inst.handleMetrics(w, r)
 }
 
 func (rt *Router) handleEmbed(w http.ResponseWriter, r *http.Request) {
@@ -509,11 +598,12 @@ func (rt *Router) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	res, err := rt.Embed(ids)
+	res, n, err := rt.embed(ids)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	annotFanout(r.Context(), n)
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -523,11 +613,12 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	res, err := rt.Predict(ids)
+	res, n, err := rt.predict(ids)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	annotFanout(r.Context(), n)
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -542,6 +633,13 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	live := 0
+	for i := range rt.down {
+		if !rt.down[i].Load() {
+			live++
+		}
+	}
+	annotFanout(r.Context(), live)
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -629,6 +727,17 @@ func (rt *Router) health() healthBody {
 		body.Status = "ok"
 	}
 	body.WarmStart = loaded > 0 && warmAll
+	// Aggregate the per-shard micro-batcher counts so the sharded
+	// health body reports the same batching fields a single-process
+	// deployment does (parity is test-enforced).
+	for _, b := range rt.bats {
+		bb, qq := b.Stats()
+		body.Batches += bb
+		body.Queries += qq
+	}
+	if body.Batches > 0 {
+		body.Coalescing = float64(body.Queries) / float64(body.Batches)
+	}
 	return body
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"gsgcn/internal/datasets"
+	"gsgcn/internal/obs"
 )
 
 // errMethod marks requests using an unsupported HTTP method.
@@ -40,15 +41,20 @@ const maxQueryIDs = 4096
 //	GET      /topk     ?id=7&k=10     → most cosine-similar vertices
 //	                   &mode=exact|ann&ef=64 (ann: HNSW beam search)
 //	GET      /healthz                 → liveness + serving stats
+//	GET      /metrics                 → Prometheus text exposition
 //	POST     /reload   {"path": "…"}  → hot-swap a new checkpoint
 //
 // POST bodies are JSON ({"ids":[…]}). Point queries arriving
 // concurrently are coalesced by the micro-batcher; every response
-// carries the snapshot version it was answered from.
+// carries the snapshot version it was answered from. Every request
+// passes through the shared obs middleware (request/latency/error
+// metrics, optional structured access log) — observation-only, so
+// answers are bit-identical with instrumentation on or off.
 type Server struct {
-	eng *Engine
-	bat *batcher
-	mux *http.ServeMux
+	eng  *Engine
+	bat  *batcher
+	mux  *http.ServeMux
+	inst *modelMetrics
 
 	mu       sync.Mutex
 	ckptPath string
@@ -80,6 +86,7 @@ var perModelEndpoints = []RouteDoc{
 	{"GET, POST", "/predict"},
 	{"GET", "/topk"},
 	{"GET", "/healthz"},
+	{"GET", "/metrics"},
 	{"POST", "/reload"},
 }
 
@@ -120,6 +127,8 @@ func (s *Server) handlerFor(pattern string) http.HandlerFunc {
 		return s.handleTopK
 	case "/healthz":
 		return s.handleHealthz
+	case "/metrics":
+		return s.handleMetrics
 	case "/reload":
 		return s.handleReload
 	}
@@ -129,8 +138,14 @@ func (s *Server) handlerFor(pattern string) http.HandlerFunc {
 // NewServer builds a server over ds. No checkpoint is loaded yet;
 // call Load (or POST /reload with a path) before serving queries.
 func NewServer(ds *datasets.Dataset, opts Options) *Server {
+	opts = opts.withDefaults()
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
 	eng := NewEngine(ds, opts)
 	s := &Server{eng: eng, bat: newBatcher(eng, eng.opts.MaxBatch)}
+	s.bat.instrument(opts.Obs, map[string]string{"model": opts.ModelName})
+	s.inst = newModelMetrics(opts.Obs, opts.ModelName, opts.AccessLog, endpointPatterns(perModelEndpoints))
 	mux := http.NewServeMux()
 	for _, e := range perModelEndpoints {
 		mux.HandleFunc(e.Pattern, s.handlerFor(e.Pattern))
@@ -178,9 +193,22 @@ func (s *Server) CheckpointPath() string {
 // Close stops the micro-batch dispatcher.
 func (s *Server) Close() { s.bat.close() }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request — known endpoint
+// or not — runs under the obs middleware; unknown paths fold into the
+// catch-all endpoint label.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.inst.serve(r.URL.Path, s.mux, w, r)
+}
+
+// instruments exposes the server's obs middleware to the registry,
+// which bills its own per-model status route to the model it serves.
+func (s *Server) instruments() *modelMetrics { return s.inst }
+
+// handleMetrics serves the model-scoped Prometheus rows. Behind a
+// Registry the same handler backs /models/{name}/metrics, while the
+// registry's bare /metrics renders every model's rows.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.inst.handleMetrics(w, r)
 }
 
 // writeJSON emits v with the given status.
@@ -288,11 +316,12 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	res, err := s.bat.Embed(ids)
+	res, batch, err := s.bat.Embed(ids)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	annotBatch(r.Context(), batch)
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -302,11 +331,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	res, err := s.bat.Predict(ids)
+	res, batch, err := s.bat.Predict(ids)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	annotBatch(r.Context(), batch)
 	writeJSON(w, http.StatusOK, res)
 }
 

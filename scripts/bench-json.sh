@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # bench-json: run the tracked benchmarks once each, echo the raw
-# `go test -bench` output for CI logs, and write machine-readable
-# BENCH_train.json / BENCH_serve.json so the perf trajectory is
-# comparable across PRs. One iteration per benchmark keeps the gate
-# fast; the numbers are trajectory markers, not microbenchmarks.
+# `go test -bench` output for CI logs, and append an entry to the
+# machine-readable BENCH_train.json / BENCH_serve.json trajectories so
+# the perf history accumulates across PRs (scripts/benchmerge handles
+# the append and the legacy single-run migration). One iteration per
+# benchmark keeps the gate fast; the numbers are trajectory markers,
+# not microbenchmarks.
 set -euo pipefail
 
 GO=${GO:-go}
 cd "$(dirname "$0")/.."
+
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+DATE=$(date -u +%Y-%m-%d)
 
 # bench_to_json PKG PATTERN OUT — run the benchmarks and convert each
 # result line ("BenchmarkName-8  1  123 ns/op  0.95 recall@10") into
@@ -36,9 +41,9 @@ bench_to_json() {
             for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
             printf "  ]\n}\n"
         }
-    ' > "$out"
-    echo "wrote $out"
+    ' | $GO run ./scripts/benchmerge -out "$out" -commit "$COMMIT" -date "$DATE"
+    echo "updated $out"
 }
 
 bench_to_json . 'Epoch' BENCH_train.json
-bench_to_json ./internal/serve 'ServeEmbed|TopKAnnVsExact|WarmVsColdStart' BENCH_serve.json
+bench_to_json ./internal/serve 'ServeEmbed|TopKAnnVsExact|WarmVsColdStart|ObsOverhead' BENCH_serve.json

@@ -11,6 +11,10 @@
 # /predict and exact /topk byte-identically to the single process,
 # and stopping one shard must degrade /healthz (still HTTP 200) while
 # ids on live shards keep answering unchanged.
+# Each phase also scrapes /metrics and asserts the exposition tracks
+# it: cold boots gauge warm_start 0, warm boots 1, multi-model rows
+# scope by model label, and a stopped shard flips gsgcn_shard_up and
+# grows the degraded-query counter.
 # Binaries are expected in ./bin (built by `make serve-smoke`).
 set -euo pipefail
 
@@ -85,6 +89,20 @@ check() {
     fi
 }
 
+# metrics_grep EXPR [PATH] — assert the scrape at PATH (default the
+# global /metrics) matches the extended regex EXPR. The body is
+# buffered first: grep -q quitting on an early match would otherwise
+# hand curl a closed pipe, and pipefail would read that as a failure.
+metrics_grep() {
+    local expr=$1 path=${2:-/metrics} body
+    body=$(curl -sf "$base$path")
+    if ! printf '%s\n' "$body" | grep -Eq "$expr"; then
+        echo "serve-smoke: GET $path lacks $expr" >&2
+        printf '%s\n' "$body" | head -60 >&2
+        exit 1
+    fi
+}
+
 echo "== datagen"
 "$BIN/gsgcn-datagen" -dataset ppi -scale 0.02 -out "$TMP/g.gsg" -stats=false
 
@@ -116,6 +134,20 @@ if curl -s "$base/healthz" | grep -q '"warm_start":true'; then
     echo "serve-smoke: cold start reports warm_start:true" >&2; exit 1
 fi
 
+echo "== scrape (cold)"
+# The queries above must have landed in the exposition: every tracked
+# family present, the served requests counted, and the warm-start
+# gauge agreeing with /healthz that this boot computed from scratch.
+for family in gsgcn_http_requests_total gsgcn_http_request_duration_seconds \
+    gsgcn_batcher_queue_depth gsgcn_batcher_batches_total gsgcn_batcher_batch_size \
+    gsgcn_batcher_flush_duration_seconds gsgcn_snapshot_version \
+    gsgcn_snapshot_warm_start gsgcn_index_resident; do
+    metrics_grep "^# TYPE $family "
+done
+metrics_grep '^gsgcn_http_requests_total\{code="2xx",endpoint="/embed",model="default"\} [1-9]'
+metrics_grep '^gsgcn_snapshot_warm_start\{model="default"\} 0$'
+metrics_grep '^gsgcn_snapshot_version\{model="default"\} 1$'
+
 # Capture cold answers for the byte-for-byte warm comparison.
 topk_queries="/topk?id=0&k=3 /topk?id=1&k=5&mode=ann /topk?id=2&k=4&mode=exact"
 for q in $topk_queries; do
@@ -136,6 +168,10 @@ if ! curl -s "$base/healthz" | grep -q '"warm_start":true'; then
     echo "serve-smoke: warm restart does not report warm_start:true:" >&2
     curl -s "$base/healthz" >&2; exit 1
 fi
+
+echo "== scrape (warm): the gauge must flip with the artifact boot"
+metrics_grep '^gsgcn_snapshot_warm_start\{model="default"\} 1$'
+metrics_grep '^gsgcn_index_resident\{model="default"\} 1$'
 
 echo "== warm answers must equal cold answers byte-for-byte"
 for q in $topk_queries; do
@@ -199,6 +235,16 @@ for q in $topk_queries; do
         exit 1
     fi
 done
+
+echo "== scrape (multi-model): one shared registry, rows scoped by model"
+metrics_grep '^gsgcn_snapshot_warm_start\{model="prod"\} 1$'
+metrics_grep '^gsgcn_snapshot_warm_start\{model="canary"\} 0$'
+metrics_grep 'endpoint="/embed",model="prod"'
+# The per-model scrape filters to that model's series only.
+metrics_grep '^gsgcn_snapshot_version\{model="canary"\} 1$' /models/canary/metrics
+if curl -sf "$base/models/canary/metrics" | grep 'model="prod"' >/dev/null; then
+    echo "serve-smoke: canary's scoped scrape leaks prod series" >&2; exit 1
+fi
 
 # Per-model reload: canary bumps to version 2, prod stays at 1.
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/models/canary/reload")
@@ -320,6 +366,13 @@ done
 if [ "$live" -eq 0 ] || [ "$dead" -eq 0 ]; then
     echo "serve-smoke: outage split live=$live dead=$dead over 10 ids — expected both" >&2; exit 1
 fi
+
+echo "== scrape (shard down): health gauges and degraded counters"
+metrics_grep '^gsgcn_shard_up\{model="default",shard="0"\} 1$'
+metrics_grep '^gsgcn_shard_up\{model="default",shard="1"\} 0$'
+metrics_grep '^gsgcn_shard_up\{model="default",shard="2"\} 1$'
+metrics_grep '^gsgcn_degraded_queries_total\{model="default"\} [1-9]'
+metrics_grep '^gsgcn_snapshot_warm_start\{model="default",shard="0"\} 1$'
 
 echo "== restart the shard: fully recovered"
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/shards/1/start")
