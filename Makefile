@@ -13,6 +13,12 @@ GO ?= go
 # lower it.
 COVER_FLOOR ?= 84.0
 
+# Bench-trajectory regression tolerance: `make bench` fails when a
+# benchmark's ns_per_op exceeds its previous trajectory entry by more
+# than this factor. Loose on purpose — one-iteration markers on shared
+# CI hosts are noisy; the gate is for order-of-magnitude regressions.
+BENCH_TOL ?= 3.0
+
 .PHONY: ci lint vet build test race cover bench serve-smoke
 
 ci: lint build race cover bench serve-smoke
@@ -72,16 +78,21 @@ cover:
 # trajectory is tracked across PRs.
 bench:
 	GO="$(GO)" bash scripts/bench-json.sh
+	$(GO) run ./scripts/benchdiff -max-ratio $(BENCH_TOL) BENCH_train.json BENCH_serve.json
 
 # End-to-end serving smoke: generate a dataset, train briefly, save a
 # checkpoint, launch gsgcn-serve and assert /embed, /predict and /topk
 # answer with sane shapes — then build a snapshot artifact with
 # gsgcn-index, restart warm, and assert /healthz reports warm_start
-# and /topk answers match the cold run byte-for-byte.
+# and /topk answers match the cold run byte-for-byte. The final phase
+# runs gsgcn-loadgen against the sharded server (reload storm + shard
+# churn mid-traffic) and appends its latency/throughput entry to
+# BENCH_serve.json.
 serve-smoke:
 	@mkdir -p bin
 	$(GO) build -o bin/gsgcn-datagen ./cmd/gsgcn-datagen
 	$(GO) build -o bin/gsgcn-train ./cmd/gsgcn-train
 	$(GO) build -o bin/gsgcn-serve ./cmd/gsgcn-serve
 	$(GO) build -o bin/gsgcn-index ./cmd/gsgcn-index
-	bash scripts/serve-smoke.sh
+	$(GO) build -o bin/gsgcn-loadgen ./cmd/gsgcn-loadgen
+	GO="$(GO)" bash scripts/serve-smoke.sh

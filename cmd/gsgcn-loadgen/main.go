@@ -1,0 +1,415 @@
+// Command gsgcn-loadgen replays an open-loop mixed workload against a
+// running gsgcn-serve process and reports latency percentiles,
+// throughput and error classes. Open-loop means arrivals are paced by
+// -rate alone — a slow server does not slow the generator down, so
+// queueing and shedding behavior show up in the numbers instead of
+// being hidden by back-pressure on the client.
+//
+// The mix interleaves /embed, /predict and /topk (weights from -mix)
+// across one or more models (-models, empty = the unprefixed legacy
+// routes), and can stir in the two operational events a production
+// fleet sees under load: periodic hot reloads (-reload-every) and
+// shard kill/restart cycles (-churn-shard/-churn-every). The vertex-id
+// space is discovered from /healthz.
+//
+// Results go to stderr as a human-readable summary; -bench emits a
+// benchmerge run entry on stdout so a run can be appended to the
+// BENCH_serve.json trajectory:
+//
+//	gsgcn-loadgen -addr http://127.0.0.1:8080 -rate 200 -duration 5s \
+//	    -bench LoadgenMixed | go run ./scripts/benchmerge \
+//	    -out BENCH_serve.json \
+//	    -commit "$(git rev-parse --short HEAD)-loadgen" -date "$(date -u +%F)"
+//
+// Error classes: ok (200), shed (429), unavailable (503, includes
+// requests owned by a killed shard — expected during churn), deadline
+// (504), client_error (other 4xx), server_error (other 5xx) and
+// transport (the request never completed). -fail-on-errors exits
+// nonzero when any client_error, server_error or transport occurred,
+// or when nothing succeeded at all — shed and unavailable are the
+// overload-protection layer doing its job, not failures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// class buckets every request outcome; see the package comment for
+// the HTTP-status mapping.
+type class int
+
+const (
+	clsOK class = iota
+	clsShed
+	clsUnavailable
+	clsDeadline
+	clsClient
+	clsServer
+	clsTransport
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"ok", "shed", "unavailable", "deadline",
+	"client_error", "server_error", "transport",
+}
+
+func classify(code int, err error) class {
+	switch {
+	case err != nil:
+		return clsTransport
+	case code == http.StatusOK:
+		return clsOK
+	case code == http.StatusTooManyRequests:
+		return clsShed
+	case code == http.StatusServiceUnavailable:
+		return clsUnavailable
+	case code == http.StatusGatewayTimeout:
+		return clsDeadline
+	case code >= 400 && code < 500:
+		return clsClient
+	}
+	return clsServer
+}
+
+// collector accumulates outcomes from the request goroutines. Only
+// successful answers contribute latency samples: a shed request's
+// sub-millisecond 429 would otherwise drag the percentiles down and
+// make an overloaded run look fast.
+type collector struct {
+	mu    sync.Mutex
+	lat   []time.Duration
+	count [numClasses]int
+}
+
+func (c *collector) record(cl class, d time.Duration) {
+	c.mu.Lock()
+	c.count[cl]++
+	if cl == clsOK {
+		c.lat = append(c.lat, d)
+	}
+	c.mu.Unlock()
+}
+
+// percentile returns the pth percentile (0 < p <= 100) of the sorted
+// sample by nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p/100*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// parseMix parses "embed:predict:topk" integer weights.
+func parseMix(s string) ([3]int, error) {
+	var mix [3]int
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return mix, fmt.Errorf("-mix %q: want embed:predict:topk weights", s)
+	}
+	total := 0
+	for i, p := range parts {
+		w, err := strconv.Atoi(p)
+		if err != nil || w < 0 {
+			return mix, fmt.Errorf("-mix %q: bad weight %q", s, p)
+		}
+		mix[i] = w
+		total += w
+	}
+	if total == 0 {
+		return mix, fmt.Errorf("-mix %q: all weights are zero", s)
+	}
+	return mix, nil
+}
+
+var verticesRe = regexp.MustCompile(`"vertices":\s*(\d+)`)
+
+// discoverVertices reads the vertex count from a model's /healthz.
+func discoverVertices(client *http.Client, base string) (int, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	m := verticesRe.FindSubmatch(body)
+	if m == nil {
+		return 0, fmt.Errorf("%s/healthz reports no vertex count: %s", base, body)
+	}
+	return strconv.Atoi(string(m[1]))
+}
+
+// config is the parsed flag set; run is pure with respect to it.
+type config struct {
+	addr        string
+	rate        float64
+	duration    time.Duration
+	timeout     time.Duration
+	mix         [3]int
+	prefixes    []string // "" or "/models/{name}", one per target model
+	seed        int64
+	reloadEvery time.Duration
+	churnShard  int // -1 = off
+	churnEvery  time.Duration
+}
+
+// summary is one run's aggregate outcome.
+type summary struct {
+	elapsed        time.Duration
+	p50, p99, p999 time.Duration
+	qps            float64 // successful answers per second
+	count          [numClasses]int
+}
+
+// hardFailures counts the outcomes -fail-on-errors treats as bugs:
+// everything except answers, sheds and degraded 503s.
+func (s summary) hardFailures() int {
+	return s.count[clsClient] + s.count[clsServer] + s.count[clsTransport]
+}
+
+// run generates the load and collects the summary. The arrival clock
+// is open-loop: one request per tick, each on its own goroutine, so a
+// slow server piles up concurrency instead of slowing the clock. The
+// rng is only touched on the ticker goroutine, keeping the workload
+// sequence deterministic for a fixed seed regardless of response
+// timing.
+func run(cfg config) (summary, error) {
+	client := &http.Client{Timeout: cfg.timeout}
+	vertices := make([]int, len(cfg.prefixes))
+	for i, p := range cfg.prefixes {
+		var err error
+		if vertices[i], err = discoverVertices(client, cfg.addr+p); err != nil {
+			return summary{}, err
+		}
+		if vertices[i] < 2 {
+			return summary{}, fmt.Errorf("%s serves %d vertices; need at least 2", cfg.addr+p, vertices[i])
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	col := &collector{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// post fires one operational-event request, draining the body so
+	// the connection is reusable.
+	post := func(url string) {
+		resp, err := client.Post(url, "application/json", nil)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	if cfg.reloadEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(cfg.reloadEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					for _, p := range cfg.prefixes {
+						post(cfg.addr + p + "/reload")
+					}
+				}
+			}
+		}()
+	}
+	if cfg.churnShard >= 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(cfg.churnEvery)
+			defer t.Stop()
+			flip := func(op string) {
+				for _, p := range cfg.prefixes {
+					post(fmt.Sprintf("%s%s/shards/%d/%s", cfg.addr, p, cfg.churnShard, op))
+				}
+			}
+			op := "stop"
+			for {
+				select {
+				case <-stop:
+					// Leave the fleet healthy however the cycle ended.
+					flip("start")
+					return
+				case <-t.C:
+					flip(op)
+					if op == "stop" {
+						op = "start"
+					} else {
+						op = "stop"
+					}
+				}
+			}
+		}()
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	for time.Since(start) < cfg.duration {
+		<-tick.C
+		mi := rng.Intn(len(cfg.prefixes))
+		base, total := cfg.addr+cfg.prefixes[mi], vertices[mi]
+		w := rng.Intn(cfg.mix[0] + cfg.mix[1] + cfg.mix[2])
+		var url string
+		switch {
+		case w < cfg.mix[0]:
+			n := 1 + rng.Intn(3)
+			ids := make([]string, n)
+			for i := range ids {
+				ids[i] = strconv.Itoa(rng.Intn(total))
+			}
+			url = base + "/embed?ids=" + strings.Join(ids, ",")
+		case w < cfg.mix[0]+cfg.mix[1]:
+			url = base + "/predict?ids=" + strconv.Itoa(rng.Intn(total))
+		default:
+			k := 1 + rng.Intn(5)
+			if k > total-1 {
+				k = total - 1
+			}
+			url = fmt.Sprintf("%s/topk?id=%d&k=%d", base, rng.Intn(total), k)
+		}
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := client.Get(url)
+			code := 0
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				code = resp.StatusCode
+			}
+			col.record(classify(code, err), time.Since(t0))
+		}(url)
+	}
+	tick.Stop()
+	close(stop)
+	wg.Wait()
+
+	col.mu.Lock()
+	lat, count := col.lat, col.count
+	col.mu.Unlock()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	s := summary{
+		elapsed: time.Since(start),
+		p50:     percentile(lat, 50),
+		p99:     percentile(lat, 99),
+		p999:    percentile(lat, 99.9),
+		count:   count,
+	}
+	s.qps = float64(count[clsOK]) / s.elapsed.Seconds()
+	return s, nil
+}
+
+// benchEntry writes the run as a benchmerge run entry (the shape
+// bench-json.sh emits): p50 as ns/op, the rest of the distribution
+// and the error classes as named metrics.
+func benchEntry(w io.Writer, name string, s summary) {
+	metrics := fmt.Sprintf(`"p99_ns": %d, "p999_ns": %d, "ok_per_sec": %.1f`,
+		s.p99.Nanoseconds(), s.p999.Nanoseconds(), s.qps)
+	for cl := clsOK; cl < numClasses; cl++ {
+		metrics += fmt.Sprintf(`, "%s": %d`, classNames[cl], s.count[cl])
+	}
+	fmt.Fprintf(w, `{"go": %q, "package": "cmd/gsgcn-loadgen", "benchmarks": [{"name": %q, "iterations": %d, "ns_per_op": %d, "metrics": {%s}}]}`+"\n",
+		runtime.Version(), name, s.count[clsOK], s.p50.Nanoseconds(), metrics)
+}
+
+// report writes the human-readable summary.
+func report(w io.Writer, cfg config, s summary) {
+	fmt.Fprintf(w, "gsgcn-loadgen: %v at %.0f req/s over %d model(s)\n",
+		s.elapsed.Round(time.Millisecond), cfg.rate, len(cfg.prefixes))
+	fmt.Fprintf(w, "  latency p50=%v p99=%v p999=%v (ok answers only)\n", s.p50, s.p99, s.p999)
+	fmt.Fprintf(w, "  throughput %.1f ok/s\n", s.qps)
+	for cl := clsOK; cl < numClasses; cl++ {
+		if s.count[cl] > 0 {
+			fmt.Fprintf(w, "  %-12s %d\n", classNames[cl], s.count[cl])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gsgcn-loadgen:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the gsgcn-serve process")
+		rate     = flag.Float64("rate", 100, "open-loop arrival rate in requests/sec")
+		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout (counts as transport on expiry)")
+		mixFlag  = flag.String("mix", "2:1:1", "embed:predict:topk weights")
+		models   = flag.String("models", "", "comma-separated model names to spread load over (empty = the unprefixed default-model routes)")
+		seed     = flag.Int64("seed", 1, "workload RNG seed (id choices and endpoint mix)")
+		reload   = flag.Duration("reload-every", 0, "POST /reload to every model at this interval mid-traffic (0 = off)")
+		churn    = flag.Int("churn-shard", -1, "shard index to repeatedly stop and restart mid-traffic (-1 = off)")
+		churnDur = flag.Duration("churn-every", time.Second, "interval between shard stop/start flips when -churn-shard is set")
+		bench    = flag.String("bench", "", "emit a benchmerge run entry on stdout naming the benchmark (empty = off)")
+		failErrs = flag.Bool("fail-on-errors", false, "exit 1 when any client_error/server_error/transport occurred, or nothing succeeded")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fatal(err)
+	}
+	prefixes := []string{""}
+	if *models != "" {
+		prefixes = nil
+		for _, m := range strings.Split(*models, ",") {
+			prefixes = append(prefixes, "/models/"+m)
+		}
+	}
+	s, err := run(config{
+		addr: *addr, rate: *rate, duration: *duration, timeout: *timeout,
+		mix: mix, prefixes: prefixes, seed: *seed,
+		reloadEvery: *reload, churnShard: *churn, churnEvery: *churnDur,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	report(os.Stderr, config{rate: *rate, prefixes: prefixes}, s)
+	if *bench != "" {
+		benchEntry(os.Stdout, *bench, s)
+	}
+	if *failErrs {
+		if bad := s.hardFailures(); bad > 0 {
+			fatal(fmt.Errorf("%d hard failures (client_error=%d server_error=%d transport=%d)",
+				bad, s.count[clsClient], s.count[clsServer], s.count[clsTransport]))
+		}
+		if s.count[clsOK] == 0 {
+			fatal(fmt.Errorf("no request succeeded"))
+		}
+	}
+}

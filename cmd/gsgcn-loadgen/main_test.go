@@ -1,0 +1,310 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gsgcn"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		code int
+		err  error
+		want class
+	}{
+		{200, nil, clsOK},
+		{429, nil, clsShed},
+		{503, nil, clsUnavailable},
+		{504, nil, clsDeadline},
+		{400, nil, clsClient},
+		{404, nil, clsClient},
+		{500, nil, clsServer},
+		{502, nil, clsServer},
+		{0, errors.New("dial refused"), clsTransport},
+	}
+	for _, c := range cases {
+		if got := classify(c.code, c.err); got != c.want {
+			t.Errorf("classify(%d, %v) = %s, want %s", c.code, c.err, classNames[got], classNames[c.want])
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if p := percentile(nil, 99); p != 0 {
+		t.Errorf("percentile of empty sample = %v, want 0", p)
+	}
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{99.9, 100 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{1, 1 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("percentile(1..100ms, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(sorted[:1], 99.9); got != time.Millisecond {
+		t.Errorf("percentile of single sample = %v, want 1ms", got)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("2:1:1")
+	if err != nil || mix != [3]int{2, 1, 1} {
+		t.Errorf("parseMix(2:1:1) = %v, %v", mix, err)
+	}
+	if _, err := parseMix("0:0:1"); err != nil {
+		t.Errorf("parseMix(0:0:1) should allow zero weights: %v", err)
+	}
+	for _, bad := range []string{"1:2", "1:2:3:4", "a:1:1", "-1:1:1", "0:0:0", ""} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCollectorRecordsLatencyOnlyForOK(t *testing.T) {
+	c := &collector{}
+	c.record(clsOK, 5*time.Millisecond)
+	c.record(clsShed, time.Microsecond)
+	c.record(clsTransport, time.Second)
+	c.record(clsOK, 7*time.Millisecond)
+	if c.count[clsOK] != 2 || c.count[clsShed] != 1 || c.count[clsTransport] != 1 {
+		t.Errorf("counts = %v", c.count)
+	}
+	if len(c.lat) != 2 {
+		t.Fatalf("latency samples = %d, want 2 (only ok answers sampled)", len(c.lat))
+	}
+}
+
+func TestDiscoverVertices(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(`{"model": "m", "vertices": 300, "version": 1}`))
+	}))
+	defer ts.Close()
+	client := &http.Client{Timeout: time.Second}
+	n, err := discoverVertices(client, ts.URL)
+	if err != nil || n != 300 {
+		t.Errorf("discoverVertices = %d, %v; want 300", n, err)
+	}
+	if _, err := discoverVertices(client, ts.URL+"/nope"); err == nil {
+		t.Error("healthz body without a vertex count should fail discovery")
+	}
+	if _, err := discoverVertices(client, "http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable server should fail discovery")
+	}
+}
+
+func TestSummaryHardFailures(t *testing.T) {
+	var s summary
+	s.count[clsOK] = 10
+	s.count[clsShed] = 4
+	s.count[clsUnavailable] = 2
+	if s.hardFailures() != 0 {
+		t.Errorf("sheds and degraded 503s must not count as hard failures: %d", s.hardFailures())
+	}
+	s.count[clsClient] = 1
+	s.count[clsServer] = 2
+	s.count[clsTransport] = 3
+	if s.hardFailures() != 6 {
+		t.Errorf("hardFailures = %d, want 6", s.hardFailures())
+	}
+}
+
+func TestBenchEntryIsValidRunEntry(t *testing.T) {
+	var s summary
+	s.count[clsOK] = 42
+	s.count[clsShed] = 3
+	s.p50, s.p99, s.p999 = time.Millisecond, 2*time.Millisecond, 3*time.Millisecond
+	s.qps = 100.5
+	var buf strings.Builder
+	benchEntry(&buf, "LoadgenMixed", s)
+	var e struct {
+		Go         string `json:"go"`
+		Package    string `json:"package"`
+		Benchmarks []struct {
+			Name       string             `json:"name"`
+			Iterations int                `json:"iterations"`
+			NsPerOp    float64            `json:"ns_per_op"`
+			Metrics    map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &e); err != nil {
+		t.Fatalf("benchEntry emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if e.Package != "cmd/gsgcn-loadgen" || len(e.Benchmarks) != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+	b := e.Benchmarks[0]
+	if b.Name != "LoadgenMixed" || b.Iterations != 42 || b.NsPerOp != 1e6 {
+		t.Errorf("benchmark = %+v", b)
+	}
+	for _, key := range []string{"p99_ns", "p999_ns", "ok_per_sec", "ok", "shed", "transport"} {
+		if _, ok := b.Metrics[key]; !ok {
+			t.Errorf("metrics missing %q: %v", key, b.Metrics)
+		}
+	}
+}
+
+func TestReportListsOnlyNonZeroClasses(t *testing.T) {
+	var s summary
+	s.count[clsOK] = 9
+	s.count[clsShed] = 1
+	s.elapsed = time.Second
+	var buf strings.Builder
+	report(&buf, config{rate: 50, prefixes: []string{""}}, s)
+	out := buf.String()
+	for _, want := range []string{"ok", "shed", "p50", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "transport") {
+		t.Errorf("report lists a zero class:\n%s", out)
+	}
+}
+
+// loadgenRegistry stands up a real single-model registry serving the
+// unprefixed routes, trained just enough to answer queries.
+func loadgenRegistry(t *testing.T) *httptest.Server {
+	t.Helper()
+	ds := gsgcn.GenerateDataset(gsgcn.DatasetConfig{
+		Name: "loadgen-test", Vertices: 200, TargetEdges: 1500,
+		FeatureDim: 8, NumClasses: 3, Homophily: 0.8, NoiseStd: 0.5, Seed: 7,
+	})
+	m := gsgcn.NewModel(ds, gsgcn.Config{
+		Layers: 2, Hidden: 8, Workers: 1, Seed: 17,
+		FrontierM: 30, Budget: 120, PInter: 1,
+	})
+	tr := gsgcn.NewTrainer(ds, m)
+	tr.Step()
+	m.ModelVersion = uint64(tr.Steps())
+	ckpt := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := m.SaveFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	reg := gsgcn.NewModelRegistry()
+	srv, err := reg.Add("m", ds, gsgcn.ServeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Load(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(reg)
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Close()
+	})
+	return ts
+}
+
+// TestRunAgainstRegistry drives the full open-loop generator against a
+// real serving registry, reloads included: every request must come
+// back 200 and the percentiles must be populated.
+func TestRunAgainstRegistry(t *testing.T) {
+	ts := loadgenRegistry(t)
+	s, err := run(config{
+		addr: ts.URL, rate: 200, duration: 500 * time.Millisecond,
+		timeout: 5 * time.Second, mix: [3]int{2, 1, 1}, prefixes: []string{""},
+		seed: 1, reloadEvery: 150 * time.Millisecond, churnShard: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.count[clsOK] == 0 {
+		t.Fatalf("no request succeeded: %v", s.count)
+	}
+	if bad := s.hardFailures(); bad != 0 {
+		t.Fatalf("%d hard failures against a healthy registry: %v", bad, s.count)
+	}
+	if s.p50 <= 0 || s.p99 < s.p50 || s.p999 < s.p99 {
+		t.Errorf("percentiles not ordered: p50=%v p99=%v p999=%v", s.p50, s.p99, s.p999)
+	}
+	if s.qps <= 0 {
+		t.Errorf("qps = %v", s.qps)
+	}
+}
+
+// TestRunChurnFlipsShard covers the churn goroutine against a fake
+// fleet: stop/start posts must alternate and the final flip must leave
+// the shard started.
+func TestRunChurnFlipsShard(t *testing.T) {
+	var mu sync.Mutex
+	var flips []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/healthz":
+			w.Write([]byte(`{"vertices": 50}`))
+		case strings.HasPrefix(r.URL.Path, "/shards/2/"):
+			mu.Lock()
+			flips = append(flips, strings.TrimPrefix(r.URL.Path, "/shards/2/"))
+			mu.Unlock()
+		}
+	}))
+	defer ts.Close()
+	s, err := run(config{
+		addr: ts.URL, rate: 50, duration: 350 * time.Millisecond,
+		timeout: time.Second, mix: [3]int{1, 1, 1}, prefixes: []string{""},
+		seed: 2, churnShard: 2, churnEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.count[clsOK] == 0 {
+		t.Fatalf("no request succeeded: %v", s.count)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flips) < 2 {
+		t.Fatalf("churn flips = %v, want at least one stop plus the final start", flips)
+	}
+	if flips[0] != "stop" {
+		t.Errorf("first flip = %q, want stop", flips[0])
+	}
+	if flips[len(flips)-1] != "start" {
+		t.Errorf("last flip = %q, want start (fleet must be left healthy)", flips[len(flips)-1])
+	}
+}
+
+func TestRunRejectsUndiscoverableTargets(t *testing.T) {
+	base := config{
+		rate: 10, duration: 50 * time.Millisecond, timeout: time.Second,
+		mix: [3]int{1, 1, 1}, prefixes: []string{""},
+	}
+	cfg := base
+	cfg.addr = "http://127.0.0.1:1"
+	if _, err := run(cfg); err == nil {
+		t.Error("unreachable target should fail before generating load")
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"vertices": 1}`))
+	}))
+	defer ts.Close()
+	cfg = base
+	cfg.addr = ts.URL
+	if _, err := run(cfg); err == nil {
+		t.Error("a 1-vertex model cannot serve topk; run should refuse it")
+	}
+}

@@ -34,8 +34,8 @@
 // unless -default says otherwise). The value is name=checkpoint
 // followed by optional comma-separated key=value settings — data,
 // artifact, ann, ann-m, ann-ef, workers, block, batch, shards,
-// shard-seed — which fall back to the matching global flags when
-// absent:
+// shard-seed, deadline, shed-queue, qps — which fall back to the
+// matching global flags when absent:
 //
 //	gsgcn-serve -data g.gsg \
 //	    -model prod=prod.ckpt,artifact=prod.ckpt.art,ann=true \
@@ -103,6 +103,16 @@ type modelSpec struct {
 	// vertex-shard assignment and must match the artifact build.
 	Shards    int    `json:"shards"`
 	ShardSeed uint64 `json:"shard_seed"`
+	// DeadlineMS bounds each query's total wait (queue + answer) in
+	// milliseconds (fractional for sub-millisecond bounds); expired
+	// queries answer 504. 0 = no deadline.
+	DeadlineMS float64 `json:"deadline_ms"`
+	// ShedQueue is the micro-batch queue-depth high-water mark above
+	// which new queries are shed with 429. 0 = never shed.
+	ShedQueue int `json:"shed_queue"`
+	// QPS is this model's admission quota in queries/sec (token
+	// bucket, one second of burst). 0 = unlimited.
+	QPS float64 `json:"qps"`
 }
 
 // fleetConfig is the -config file schema.
@@ -194,6 +204,15 @@ func parseModelFlag(v string, def modelSpec) (modelSpec, error) {
 			spec.Shards, err = strconv.Atoi(val)
 		case "shard-seed":
 			spec.ShardSeed, err = strconv.ParseUint(val, 10, 64)
+		case "deadline":
+			var d time.Duration
+			if d, err = time.ParseDuration(val); err == nil {
+				spec.DeadlineMS = float64(d) / float64(time.Millisecond)
+			}
+		case "shed-queue":
+			spec.ShedQueue, err = strconv.Atoi(val)
+		case "qps":
+			spec.QPS, err = strconv.ParseFloat(val, 64)
 		default:
 			return spec, fmt.Errorf("-model %q: unknown setting %q", v, key)
 		}
@@ -229,10 +248,13 @@ func main() {
 		art     = flag.String("artifact", "", "snapshot artifact (gsgcn-index output) to warm-start from; \"auto\" tries <load>.art; mismatch or absence falls back to the full compute")
 		shards  = flag.Int("shards", 0, "serve each model as N vertex shards behind a scatter-gather router (0 or 1 = unsharded)")
 		shSeed  = flag.Uint64("shard-seed", 0, "seed keying the deterministic vertex-shard assignment (must match gsgcn-index -shard-seed)")
+		dline   = flag.Duration("deadline", 0, "per-query deadline covering queue wait and answer; expired queries get 504 (0 = none)")
+		shedQ   = flag.Int("shed-queue", 0, "micro-batch queue-depth high-water mark; deeper queues shed new queries with 429 (0 = never)")
+		qps     = flag.Float64("qps", 0, "per-model admission quota in queries/sec, token bucket with one second of burst (0 = unlimited)")
 		pprofAt = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (e.g. 127.0.0.1:6060); off when empty, and never on the serving listener")
 		noLog   = flag.Bool("no-access-log", false, "disable the per-request JSON access log (lifecycle events still log)")
 	)
-	flag.Var(&models, "model", "serve an extra model: name=checkpoint[,data=…][,artifact=…][,ann=…][,ann-m=…][,ann-ef=…][,workers=…][,block=…][,batch=…][,shards=…][,shard-seed=…] (repeatable; first is the default model)")
+	flag.Var(&models, "model", "serve an extra model: name=checkpoint[,data=…][,artifact=…][,ann=…][,ann-m=…][,ann-ef=…][,workers=…][,block=…][,batch=…][,shards=…][,shard-seed=…][,deadline=…][,shed-queue=…][,qps=…] (repeatable; first is the default model)")
 	flag.Parse()
 
 	// Global flags double as the per-model defaults.
@@ -240,6 +262,7 @@ func main() {
 		Artifact: *art, ANN: *annOn, ANNM: *annM, ANNEf: *annEf,
 		Workers: *workers, Block: *block, Batch: *batch,
 		Shards: *shards, ShardSeed: *shSeed,
+		DeadlineMS: float64(*dline) / float64(time.Millisecond), ShedQueue: *shedQ, QPS: *qps,
 	}
 
 	var specs []modelSpec
@@ -330,6 +353,9 @@ func main() {
 			Workers: spec.Workers, BlockSize: spec.Block, MaxBatch: spec.Batch,
 			ANN: spec.ANN, ANNM: spec.ANNM, ANNEf: spec.ANNEf,
 			ArtifactPath: spec.Artifact,
+			Deadline:     time.Duration(spec.DeadlineMS * float64(time.Millisecond)),
+			ShedQueueHW:  spec.ShedQueue,
+			QPSLimit:     spec.QPS,
 		}
 		var (
 			ms  gsgcn.ModelServer

@@ -41,6 +41,17 @@ func TestParseModelFlag(t *testing.T) {
 		t.Errorf("bare ann: spec=%+v err=%v", spec, err)
 	}
 
+	// Sub-millisecond deadlines must survive the ms conversion, not
+	// silently truncate to "no deadline".
+	spec, err = parseModelFlag("a=a.ckpt,deadline=500us,shed-queue=64,qps=2.5", defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.DeadlineMS != 0.5 || spec.ShedQueue != 64 || spec.QPS != 2.5 {
+		t.Errorf("overload spec: deadline=%vms shed=%d qps=%v, want 0.5ms 64 2.5",
+			spec.DeadlineMS, spec.ShedQueue, spec.QPS)
+	}
+
 	for _, bad := range []string{
 		"",                    // nothing
 		"justaname",           // no checkpoint

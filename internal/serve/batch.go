@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,7 +35,10 @@ type batcher struct {
 	// (reported by /healthz and asserted by tests). The batches count
 	// doubles as the batch-id sequence: every dispatched batch gets
 	// the post-increment value as its id, carried on responses so
-	// request logs can show which queries coalesced together.
+	// request logs can show which queries coalesced together. Only
+	// batches that actually gather rows count — a drain whose every
+	// request failed validation or was abandoned dispatches nothing,
+	// so it must not burn an id or skew the coalescing factor.
 	batches atomic.Uint64
 	queries atomic.Uint64
 
@@ -42,9 +47,29 @@ type batcher struct {
 }
 
 type batchReq struct {
+	// ctx is the submitting request's context. The dispatcher checks
+	// it at gather time: a row whose submitter has already given up
+	// (client disconnect, deadline) is dead weight and is skipped.
+	// nil means background (requests built directly in tests).
+	ctx     context.Context
 	ids     []int
 	predict bool
 	out     chan batchResp
+
+	// abandoned flips when the submitter stops waiting on out — its
+	// done-select fired or its context ended while queued. The
+	// dispatcher skips abandoned rows instead of gathering (and, for
+	// predictions, GEMMing) them into a response nobody will read.
+	abandoned atomic.Bool
+}
+
+// dead reports whether the request's submitter is known to have given
+// up already. It may race the submitter's final select — a request
+// answered right at its deadline can land either way — but that only
+// changes whether this request is answered, never the bytes of any
+// answered response.
+func (r *batchReq) dead() bool {
+	return r.abandoned.Load() || (r.ctx != nil && r.ctx.Err() != nil)
 }
 
 type batchResp struct {
@@ -116,34 +141,52 @@ func (b *batcher) loop() {
 }
 
 // Embed answers an embedding query through the micro-batching path,
-// also reporting the id of the batch that carried it.
-func (b *batcher) Embed(ids []int) (*EmbedResult, uint64, error) {
-	resp := b.submit(ids, false)
+// also reporting the id of the batch that carried it. The context
+// bounds the whole wait: enqueueing on a full queue and waiting for
+// the dispatched answer both give up when ctx ends.
+func (b *batcher) Embed(ctx context.Context, ids []int) (*EmbedResult, uint64, error) {
+	resp := b.submit(ctx, ids, false)
 	return resp.embed, resp.batch, resp.err
 }
 
 // Predict answers a prediction query through the micro-batching path,
 // also reporting the id of the batch that carried it.
-func (b *batcher) Predict(ids []int) (*PredictResult, uint64, error) {
-	resp := b.submit(ids, true)
+func (b *batcher) Predict(ctx context.Context, ids []int) (*PredictResult, uint64, error) {
+	resp := b.submit(ctx, ids, true)
 	return resp.pred, resp.batch, resp.err
 }
 
-func (b *batcher) submit(ids []int, predict bool) batchResp {
+func (b *batcher) submit(ctx context.Context, ids []int, predict bool) batchResp {
 	if b.closed.Load() {
 		return batchResp{err: errClosed}
 	}
-	r := &batchReq{ids: ids, predict: predict, out: make(chan batchResp, 1)}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return batchResp{err: fmt.Errorf("serve: %w before enqueue", err)}
+	}
+	r := &batchReq{ctx: ctx, ids: ids, predict: predict, out: make(chan batchResp, 1)}
 	select {
 	case b.reqs <- r:
 	case <-b.done:
 		return batchResp{err: errClosed}
+	case <-ctx.Done():
+		// The queue stayed full past the caller's deadline (or the
+		// client hung up): give the slot up without ever occupying one.
+		return batchResp{err: fmt.Errorf("serve: %w before enqueue", ctx.Err())}
 	}
 	select {
 	case resp := <-r.out:
 		return resp
 	case <-b.done:
+		r.abandoned.Store(true)
 		return batchResp{err: errClosed}
+	case <-ctx.Done():
+		// Mark the queued row dead so the dispatcher drops it instead
+		// of gathering into a buffered channel nobody reads.
+		r.abandoned.Store(true)
+		return batchResp{err: fmt.Errorf("serve: %w while queued", ctx.Err())}
 	}
 }
 
@@ -163,11 +206,15 @@ func (b *batcher) run(batch []*batchReq) {
 		return
 	}
 	// Validate per request; an invalid request fails alone without
-	// poisoning the rest of the batch.
+	// poisoning the rest of the batch, and an abandoned request — its
+	// submitter stopped waiting — contributes no rows at all.
 	live := batch[:0:0]
 	var all []int
 	anyPredict := false
 	for _, r := range batch {
+		if r.dead() {
+			continue
+		}
 		rows, err := localRows(st, r.ids)
 		if err != nil {
 			r.out <- batchResp{err: err}
@@ -177,14 +224,17 @@ func (b *batcher) run(batch []*batchReq) {
 		all = append(all, rows...)
 		anyPredict = anyPredict || r.predict
 	}
+	if len(live) == 0 {
+		// Nothing dispatches: no batch id, no stats, no observations —
+		// an all-invalid (or all-abandoned) drain must not inflate the
+		// coalescing factor or record a 0-size batch in the histograms.
+		return
+	}
 	id := b.batches.Add(1)
-	b.queries.Add(uint64(len(batch)))
+	b.queries.Add(uint64(len(live)))
 	if b.inst != nil {
 		b.inst.batchSize.Observe(float64(len(all)))
 		defer func() { b.inst.flush.Observe(time.Since(start).Seconds()) }()
-	}
-	if len(live) == 0 {
-		return
 	}
 
 	h := mat.New(len(all), st.Dim())

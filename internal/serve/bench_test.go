@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"path/filepath"
@@ -32,7 +33,7 @@ func BenchmarkServeEmbed(b *testing.B) {
 		b.RunParallel(func(pb *testing.PB) {
 			i := 0
 			for pb.Next() {
-				if _, _, err := bat.Embed([]int{i % 2000}); err != nil {
+				if _, _, err := bat.Embed(context.Background(), []int{i % 2000}); err != nil {
 					b.Error(err)
 					return
 				}

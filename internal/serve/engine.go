@@ -29,6 +29,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gsgcn/internal/ann"
 	"gsgcn/internal/artifact"
@@ -95,6 +96,23 @@ type Options struct {
 	// ShardSeed keys the deterministic vertex-shard assignment; every
 	// engine of one fleet (and the artifact builder) must share it.
 	ShardSeed uint64
+	// Deadline bounds each query's time in the serving path (0 =
+	// none). It covers the wait for a micro-batch slot and the wait
+	// for the dispatched answer; an expired request frees its queue
+	// slot, its rows are skipped at gather time, and the client gets a
+	// 504. Client disconnects cancel the same way (503). Deadlines
+	// change only *whether* a request is answered, never the bytes of
+	// an answered response.
+	Deadline time.Duration
+	// ShedQueueHW is the admission gate's queue-depth high-water mark:
+	// when the micro-batcher already has this many requests queued
+	// (the deepest shard's queue, on a router), new queries are shed
+	// with 429 before any work is queued. 0 disables shedding.
+	ShedQueueHW int
+	// QPSLimit is the per-model admission quota in queries/sec,
+	// enforced by a token bucket with one second of burst credit.
+	// Exhausted quota sheds with 429. 0 = unlimited.
+	QPSLimit float64
 	// Obs is the metrics registry this engine (and the request layer
 	// above it) reports into. Nil makes NewServer/NewRouter create a
 	// private one; a raw NewEngine with nil Obs is simply unobserved.

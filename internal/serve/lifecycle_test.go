@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
@@ -36,9 +37,9 @@ func TestBatcherCloseSubmitRace(t *testing.T) {
 				for i := 0; i < 50; i++ {
 					var err error
 					if g%2 == 0 {
-						_, _, err = b.Embed([]int{(g + i) % 300})
+						_, _, err = b.Embed(context.Background(), []int{(g + i) % 300})
 					} else {
-						_, _, err = b.Predict([]int{(g + i) % 300})
+						_, _, err = b.Predict(context.Background(), []int{(g + i) % 300})
 					}
 					if err != nil && err != errClosed {
 						t.Errorf("submit during close: %v", err)
@@ -63,10 +64,10 @@ func TestBatcherCloseSubmitRace(t *testing.T) {
 		wg.Wait()
 
 		// After close, every submit fails fast with errClosed.
-		if _, _, err := b.Embed([]int{0}); err != errClosed {
+		if _, _, err := b.Embed(context.Background(), []int{0}); err != errClosed {
 			t.Fatalf("post-close Embed err = %v, want errClosed", err)
 		}
-		if _, _, err := b.Predict([]int{0}); err != errClosed {
+		if _, _, err := b.Predict(context.Background(), []int{0}); err != errClosed {
 			t.Fatalf("post-close Predict err = %v, want errClosed", err)
 		}
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -55,6 +56,11 @@ type Router struct {
 	// there. Per-shard counts aggregate into the router's health body.
 	bats []*batcher
 	down []atomic.Bool
+
+	// gate is the fleet's admission control; its depth probe reads the
+	// deepest shard queue, because the scatter-gather answers at the
+	// pace of its slowest shard.
+	gate *admitGate
 
 	closed atomic.Bool
 
@@ -124,6 +130,16 @@ func NewRouter(ds *datasets.Dataset, opts Options, shards int, seed uint64) (*Ro
 		rt.bats[i] = newBatcher(rt.engines[i], opts.MaxBatch)
 		rt.bats[i].instrument(opts.Obs, map[string]string{"model": opts.ModelName, "shard": strconv.Itoa(i)})
 	}
+	rt.gate = newAdmitGate(opts, func() int {
+		max := 0
+		for _, b := range rt.bats {
+			if d := len(b.reqs); d > max {
+				max = d
+			}
+		}
+		return max
+	})
+	rt.gate.instrument(opts.Obs, map[string]string{"model": opts.ModelName})
 	rt.inst = newModelMetrics(opts.Obs, opts.ModelName, opts.AccessLog, endpointPatterns(perModelEndpoints, shardEndpoints))
 	rt.degraded = opts.Obs.Counter("gsgcn_degraded_queries_total",
 		"Queries refused because their owning shard was down, plus top-K answers assembled without a down shard's vertices.",
@@ -318,20 +334,22 @@ func (rt *Router) scatter(groups [][]int, fn func(shard int, ids []int) error) e
 // and their rows are the same bits wherever they live, and the
 // version counters advance in lockstep.
 func (rt *Router) Embed(ids []int) (*EmbedResult, error) {
-	res, _, err := rt.embed(ids)
+	res, _, err := rt.embed(context.Background(), ids)
 	return res, err
 }
 
 // embed is Embed plus the scatter fan-out width (shards that owned
 // any queried id), which the HTTP layer records in the request log.
-func (rt *Router) embed(ids []int) (*EmbedResult, int, error) {
+// ctx bounds every scattered sub-query: when it ends, each shard's
+// submit gives up and the gather fails with the context's error.
+func (rt *Router) embed(ctx context.Context, ids []int) (*EmbedResult, int, error) {
 	groups, owners, err := rt.group(ids)
 	if err != nil {
 		return nil, 0, err
 	}
 	parts := make([]*EmbedResult, len(rt.engines))
 	err = rt.scatter(groups, func(s int, sub []int) error {
-		res, _, err := rt.bats[s].Embed(sub)
+		res, _, err := rt.bats[s].Embed(ctx, sub)
 		parts[s] = res
 		return err
 	})
@@ -367,19 +385,19 @@ func fanout(groups [][]int) int {
 
 // Predict answers a prediction query by the same scatter/stitch.
 func (rt *Router) Predict(ids []int) (*PredictResult, error) {
-	res, _, err := rt.predict(ids)
+	res, _, err := rt.predict(context.Background(), ids)
 	return res, err
 }
 
 // predict is Predict plus the scatter fan-out width.
-func (rt *Router) predict(ids []int) (*PredictResult, int, error) {
+func (rt *Router) predict(ctx context.Context, ids []int) (*PredictResult, int, error) {
 	groups, owners, err := rt.group(ids)
 	if err != nil {
 		return nil, 0, err
 	}
 	parts := make([]*PredictResult, len(rt.engines))
 	err = rt.scatter(groups, func(s int, sub []int) error {
-		res, _, err := rt.bats[s].Predict(sub)
+		res, _, err := rt.bats[s].Predict(ctx, sub)
 		parts[s] = res
 		return err
 	})
@@ -593,12 +611,20 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	release, err := rt.gate.admit()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer release()
 	ids, err := parseIDs(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	res, n, err := rt.embed(ids)
+	ctx, cancel := queryCtx(r, rt.opts.Deadline)
+	defer cancel()
+	res, n, err := rt.embed(ctx, ids)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -608,12 +634,20 @@ func (rt *Router) handleEmbed(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
+	release, err := rt.gate.admit()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer release()
 	ids, err := parseIDs(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	res, n, err := rt.predict(ids)
+	ctx, cancel := queryCtx(r, rt.opts.Deadline)
+	defer cancel()
+	res, n, err := rt.predict(ctx, ids)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -623,6 +657,12 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
+	release, err := rt.gate.admit()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer release()
 	tq, err := parseTopKQuery(r, rt.ds.G.NumVertices(), rt.opts.ANN)
 	if err != nil {
 		writeErr(w, err)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"gsgcn/internal/datasets"
 	"gsgcn/internal/obs"
@@ -53,6 +55,7 @@ const maxQueryIDs = 4096
 type Server struct {
 	eng  *Engine
 	bat  *batcher
+	gate *admitGate
 	mux  *http.ServeMux
 	inst *modelMetrics
 
@@ -144,6 +147,8 @@ func NewServer(ds *datasets.Dataset, opts Options) *Server {
 	}
 	eng := NewEngine(ds, opts)
 	s := &Server{eng: eng, bat: newBatcher(eng, eng.opts.MaxBatch)}
+	s.gate = newAdmitGate(eng.opts, func() int { return len(s.bat.reqs) })
+	s.gate.instrument(opts.Obs, map[string]string{"model": opts.ModelName})
 	s.bat.instrument(opts.Obs, map[string]string{"model": opts.ModelName})
 	s.inst = newModelMetrics(opts.Obs, opts.ModelName, opts.AccessLog, endpointPatterns(perModelEndpoints))
 	mux := http.NewServeMux()
@@ -220,17 +225,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Reason classifies overload-protection rejections machine-readably
+	// — "shed" (queue high-water mark), "quota" (QPS limit), "deadline"
+	// (per-request deadline expired), "canceled" (client went away).
+	// Absent on every other error, so pre-existing error bodies are
+	// byte-identical.
+	Reason string `json:"reason,omitempty"`
 }
 
 // statusFor maps engine errors onto HTTP statuses: server-side
 // conditions (no model loaded yet, server closing) are 503 so
 // retry policies keyed on 4xx-vs-5xx treat them as retryable,
-// unsupported methods are 405, and everything else surfaced here is
-// a caller mistake.
+// shed requests are 429 (back off and retry), expired deadlines are
+// 504, unsupported methods are 405, and everything else surfaced
+// here is a caller mistake.
 func statusFor(err error) int {
 	switch {
 	case err == nil:
 		return http.StatusOK
+	case errors.Is(err, errShed), errors.Is(err, errQuota):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; the status is for the log line, not
+		// the (gone) client. 503 keeps it in the retryable class.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, errClosed), errors.Is(err, errShardDown):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errNotOwned):
@@ -243,8 +263,34 @@ func statusFor(err error) int {
 	return http.StatusBadRequest
 }
 
+// reasonFor classifies overload-protection errors for the structured
+// error body ("" for everything else).
+func reasonFor(err error) string {
+	switch {
+	case errors.Is(err, errShed):
+		return "shed"
+	case errors.Is(err, errQuota):
+		return "quota"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return ""
+}
+
 func writeErr(w http.ResponseWriter, err error) {
-	writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+	writeJSON(w, statusFor(err), errorBody{Error: err.Error(), Reason: reasonFor(err)})
+}
+
+// queryCtx derives the context a query runs under: the client's own
+// request context (canceled by net/http on disconnect) bounded by the
+// configured per-model deadline when one is set.
+func queryCtx(r *http.Request, deadline time.Duration) (context.Context, context.CancelFunc) {
+	if deadline <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), deadline)
 }
 
 // parseVertexID is the one vertex-id parser for every query
@@ -311,12 +357,20 @@ func parseIDs(r *http.Request) ([]int, error) {
 }
 
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	release, err := s.gate.admit()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer release()
 	ids, err := parseIDs(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	res, batch, err := s.bat.Embed(ids)
+	ctx, cancel := queryCtx(r, s.eng.opts.Deadline)
+	defer cancel()
+	res, batch, err := s.bat.Embed(ctx, ids)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -326,12 +380,20 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	release, err := s.gate.admit()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer release()
 	ids, err := parseIDs(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	res, batch, err := s.bat.Predict(ids)
+	ctx, cancel := queryCtx(r, s.eng.opts.Deadline)
+	defer cancel()
+	res, batch, err := s.bat.Predict(ctx, ids)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -393,6 +455,12 @@ func parseTopKQuery(r *http.Request, vertices int, annEnabled bool) (topkQuery, 
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	release, err := s.gate.admit()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer release()
 	tq, err := parseTopKQuery(r, s.eng.ds.G.NumVertices(), s.eng.opts.ANN)
 	if err != nil {
 		writeErr(w, err)

@@ -1,0 +1,112 @@
+// Command benchdiff guards the perf trajectory: for each BENCH_*.json
+// file given, it compares every benchmark's most recent occurrence
+// against its previous one and fails when ns_per_op regressed by more
+// than -max-ratio. Comparing per benchmark name (rather than diffing
+// the last two entries wholesale) keeps the gate meaningful when
+// micro-bench and loadgen entries interleave in one trajectory and
+// share no benchmark names — and when a same-commit rerun replaces an
+// entry mid-trajectory instead of at the tail.
+//
+// One-iteration trajectory markers on shared CI hosts are noisy, so
+// the default tolerance is deliberately loose: the gate exists to
+// catch order-of-magnitude regressions (an accidental O(n²), a lost
+// parallel path), not single-digit-percent drift. A benchmark with
+// only one occurrence is reported and skipped — a new benchmark
+// cannot regress.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type mark struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type entry struct {
+	Commit     string `json:"commit"`
+	Benchmarks []mark `json:"benchmarks"`
+}
+
+type trajectory struct {
+	Package    string  `json:"package"`
+	Trajectory []entry `json:"trajectory"`
+}
+
+func main() {
+	maxRatio := flag.Float64("max-ratio", 3.0, "fail when a benchmark's latest ns_per_op exceeds its previous run by more than this factor")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-ratio N] BENCH_x.json ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		if err := diff(path, *maxRatio); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// sample is one benchmark occurrence, stamped with its entry's commit.
+type sample struct {
+	nsPerOp float64
+	commit  string
+}
+
+func diff(path string, maxRatio float64) error {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		fmt.Printf("benchdiff: %s: no trajectory yet, nothing to compare\n", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var traj trajectory
+	if err := json.Unmarshal(raw, &traj); err != nil {
+		return err
+	}
+	// Gather each benchmark's occurrences in trajectory order; names
+	// are reported in first-seen order so output is stable.
+	occ := make(map[string][]sample)
+	var names []string
+	for _, e := range traj.Trajectory {
+		for _, m := range e.Benchmarks {
+			if _, seen := occ[m.Name]; !seen {
+				names = append(names, m.Name)
+			}
+			occ[m.Name] = append(occ[m.Name], sample{m.NsPerOp, e.Commit})
+		}
+	}
+	var regressed []string
+	for _, name := range names {
+		s := occ[name]
+		if len(s) < 2 {
+			fmt.Printf("benchdiff: %s: %s: single run, no baseline\n", path, name)
+			continue
+		}
+		prev, last := s[len(s)-2], s[len(s)-1]
+		ratio := 0.0
+		if prev.nsPerOp > 0 {
+			ratio = last.nsPerOp / prev.nsPerOp
+		}
+		fmt.Printf("benchdiff: %s: %s: %.0f -> %.0f ns/op (%.2fx, %s -> %s)\n",
+			path, name, prev.nsPerOp, last.nsPerOp, ratio, prev.commit, last.commit)
+		if ratio > maxRatio {
+			regressed = append(regressed, fmt.Sprintf("%s %.2fx > %.2fx", name, ratio, maxRatio))
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("regressions: %v", regressed)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	path := write(t, `{"package": "./x", "trajectory": [
+		{"commit": "aaa", "benchmarks": [{"name": "BenchmarkA", "ns_per_op": 100}]},
+		{"commit": "bbb", "benchmarks": [{"name": "BenchmarkA", "ns_per_op": 250}]}
+	]}`)
+	if err := diff(path, 3.0); err != nil {
+		t.Fatalf("2.5x under a 3x tolerance failed: %v", err)
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	path := write(t, `{"package": "./x", "trajectory": [
+		{"commit": "aaa", "benchmarks": [{"name": "BenchmarkA", "ns_per_op": 100}]},
+		{"commit": "bbb", "benchmarks": [{"name": "BenchmarkA", "ns_per_op": 500}]}
+	]}`)
+	if err := diff(path, 3.0); err == nil {
+		t.Fatal("5x regression passed a 3x tolerance")
+	}
+}
+
+// TestDiffSkipsInterleavedEntries pins the reason benchdiff searches
+// backwards per name: a loadgen entry between two micro-bench entries
+// shares no benchmark names, and must be looked through rather than
+// making the comparison vacuous (or a false baseline of 0).
+func TestDiffSkipsInterleavedEntries(t *testing.T) {
+	path := write(t, `{"package": "./x", "trajectory": [
+		{"commit": "aaa", "benchmarks": [{"name": "BenchmarkA", "ns_per_op": 100}]},
+		{"commit": "aaa-loadgen", "benchmarks": [{"name": "LoadgenMixed", "ns_per_op": 7}]},
+		{"commit": "bbb", "benchmarks": [{"name": "BenchmarkA", "ns_per_op": 500}]}
+	]}`)
+	if err := diff(path, 3.0); err == nil {
+		t.Fatal("regression hidden by an interleaved loadgen entry")
+	}
+}
+
+func TestDiffToleratesNewAndMissing(t *testing.T) {
+	// A brand-new benchmark has no baseline; a short trajectory has
+	// nothing to compare; a missing file is not an error (first run
+	// in a fresh clone).
+	path := write(t, `{"package": "./x", "trajectory": [
+		{"commit": "aaa", "benchmarks": [{"name": "BenchmarkA", "ns_per_op": 100}]},
+		{"commit": "bbb", "benchmarks": [{"name": "BenchmarkNew", "ns_per_op": 999999}]}
+	]}`)
+	if err := diff(path, 3.0); err != nil {
+		t.Fatalf("new benchmark treated as regression: %v", err)
+	}
+	short := write(t, `{"package": "./x", "trajectory": [
+		{"commit": "aaa", "benchmarks": [{"name": "BenchmarkA", "ns_per_op": 100}]}
+	]}`)
+	if err := diff(short, 3.0); err != nil {
+		t.Fatalf("single-entry trajectory failed: %v", err)
+	}
+	if err := diff(filepath.Join(t.TempDir(), "absent.json"), 3.0); err != nil {
+		t.Fatalf("missing file failed: %v", err)
+	}
+}

@@ -74,9 +74,20 @@ func run(path, commit, date string, in io.Reader) error {
 		traj.Package = e.Package
 	}
 	e.Package = "" // lives at the top level, not per entry
-	if n := len(traj.Trajectory); n > 0 && commit != "" && traj.Trajectory[n-1].Commit == commit {
-		traj.Trajectory[n-1] = e
-	} else {
+	replaced := false
+	if commit != "" {
+		// Replace wherever this commit's entry sits, not just at the
+		// tail: micro-bench and loadgen runs stamp distinct commit ids
+		// into one trajectory, so a rerun's entry may not be last.
+		for i := range traj.Trajectory {
+			if traj.Trajectory[i].Commit == commit {
+				traj.Trajectory[i] = e
+				replaced = true
+				break
+			}
+		}
+	}
+	if !replaced {
 		traj.Trajectory = append(traj.Trajectory, e)
 	}
 

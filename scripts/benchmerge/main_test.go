@@ -51,6 +51,17 @@ func TestTrajectoryAccumulates(t *testing.T) {
 	if len(traj.Trajectory) != 2 || traj.Trajectory[1].Date != "2026-08-10" {
 		t.Fatalf("same-commit rerun: got %+v", traj)
 	}
+
+	// A rerun replaces its own entry even when later entries (a
+	// loadgen run stamping a distinct commit id) were appended after
+	// it — position in the trajectory must not matter.
+	if err := run(path, "aaa", "2026-08-11", strings.NewReader(runEntry)); err != nil {
+		t.Fatal(err)
+	}
+	traj = readTraj(t, path)
+	if len(traj.Trajectory) != 2 || traj.Trajectory[0].Date != "2026-08-11" || traj.Trajectory[1].Commit != "bbb" {
+		t.Fatalf("mid-trajectory rerun: got %+v", traj)
+	}
 }
 
 // TestLegacyMigration feeds a pre-trajectory single-run file and

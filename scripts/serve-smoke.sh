@@ -19,6 +19,7 @@
 set -euo pipefail
 
 BIN=${BIN:-./bin}
+GO=${GO:-go}
 PORT=${PORT:-18473}
 TMP=$(mktemp -d)
 SERVER_PID=""
@@ -288,7 +289,8 @@ done
 echo "== serve (sharded: 3 shards, warm from per-shard artifacts)"
 stop_server
 start_server -data "$TMP/g.gsg" -load "$TMP/m.ckpt" -ann \
-    -artifact "$TMP/sh.art" -shards 3 -shard-seed 42
+    -artifact "$TMP/sh.art" -shards 3 -shard-seed 42 \
+    -deadline 2s -shed-queue 256
 
 check "/shards" "shard_seed"
 if ! curl -s "$base/healthz" | grep -q '"shards":3'; then
@@ -391,5 +393,27 @@ for q in $exact_queries; do
         exit 1
     fi
 done
+
+echo "== loadgen (mixed load + reload storm + shard churn)"
+# The sharded server is still up with -deadline 2s -shed-queue 256.
+# Reloads and shard kill/restart cycles run mid-traffic; the only
+# acceptable outcomes are answers, sheds (429) and degraded 503s from
+# the killed shard — any client_error/server_error/transport fails
+# the gate (-fail-on-errors), as does an empty success sample.
+"$BIN/gsgcn-loadgen" -addr "$base" -rate 150 -duration 4s \
+    -reload-every 1s -churn-shard 1 -churn-every 1s \
+    -fail-on-errors -bench LoadgenMixed > "$TMP/loadgen.json"
+
+# The run entry must carry a real latency distribution before it is
+# allowed into the trajectory.
+if ! grep -Eq '"p99_ns": [1-9]' "$TMP/loadgen.json"; then
+    echo "serve-smoke: loadgen entry has an empty p99 sample:" >&2
+    cat "$TMP/loadgen.json" >&2; exit 1
+fi
+
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+$GO run ./scripts/benchmerge -out BENCH_serve.json \
+    -commit "${COMMIT}-loadgen" -date "$(date -u +%Y-%m-%d)" < "$TMP/loadgen.json"
+echo "serve-smoke: loadgen entry appended to BENCH_serve.json"
 
 echo "serve-smoke: OK"
