@@ -84,10 +84,13 @@ bench:
 # checkpoint, launch gsgcn-serve and assert /embed, /predict and /topk
 # answer with sane shapes — then build a snapshot artifact with
 # gsgcn-index, restart warm, and assert /healthz reports warm_start
-# and /topk answers match the cold run byte-for-byte. The final phase
-# runs gsgcn-loadgen against the sharded server (reload storm + shard
-# churn mid-traffic) and appends its latency/throughput entry to
-# BENCH_serve.json.
+# and /topk answers match the cold run byte-for-byte. The sharded
+# phase also exposes the binary wire transport: gsgcn-probe asserts
+# JSON, negotiated-binary and framed-TCP answers decode identically
+# (and that one TCP connection survives a reload storm). The final
+# phase runs gsgcn-loadgen against the sharded server (reload storm +
+# shard churn mid-traffic) and appends its latency/throughput entries
+# — JSON and wire — to BENCH_serve.json.
 serve-smoke:
 	@mkdir -p bin
 	$(GO) build -o bin/gsgcn-datagen ./cmd/gsgcn-datagen
@@ -95,4 +98,5 @@ serve-smoke:
 	$(GO) build -o bin/gsgcn-serve ./cmd/gsgcn-serve
 	$(GO) build -o bin/gsgcn-index ./cmd/gsgcn-index
 	$(GO) build -o bin/gsgcn-loadgen ./cmd/gsgcn-loadgen
+	$(GO) build -o bin/gsgcn-probe ./cmd/gsgcn-probe
 	GO="$(GO)" bash scripts/serve-smoke.sh

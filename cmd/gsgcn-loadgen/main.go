@@ -5,12 +5,17 @@
 // queueing and shedding behavior show up in the numbers instead of
 // being hidden by back-pressure on the client.
 //
-// The mix interleaves /embed, /predict and /topk (weights from -mix)
-// across one or more models (-models, empty = the unprefixed legacy
-// routes), and can stir in the two operational events a production
+// Requests are issued through pkg/client, so the generator exercises
+// exactly the SDK code paths, over any of the three transports
+// (-transport): "json" (HTTP), "wire" (HTTP negotiated to the binary
+// encoding) or "tcp" (the persistent framed transport on -wire-addr).
+//
+// The mix interleaves embed, predict and topk queries (weights from
+// -mix) across one or more models (-models, empty = the default
+// model), and can stir in the two operational events a production
 // fleet sees under load: periodic hot reloads (-reload-every) and
-// shard kill/restart cycles (-churn-shard/-churn-every). The vertex-id
-// space is discovered from /healthz.
+// shard kill/restart cycles (-churn-shard/-churn-every). The
+// vertex-id space is discovered from the health endpoint.
 //
 // Results go to stderr as a human-readable summary; -bench emits a
 // benchmerge run entry on stdout so a run can be appended to the
@@ -31,19 +36,22 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"os"
-	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"gsgcn/pkg/client"
 )
 
 // class buckets every request outcome; see the package comment for
@@ -66,19 +74,26 @@ var classNames = [numClasses]string{
 	"client_error", "server_error", "transport",
 }
 
-func classify(code int, err error) class {
-	switch {
-	case err != nil:
-		return clsTransport
-	case code == http.StatusOK:
+// classify buckets one SDK outcome. Server rejections arrive as
+// *client.APIError carrying the HTTP status on every transport, so
+// the classification is transport-independent; anything else that
+// failed is a transport error.
+func classify(err error) class {
+	if err == nil {
 		return clsOK
-	case code == http.StatusTooManyRequests:
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		return clsTransport
+	}
+	switch {
+	case ae.Status == http.StatusTooManyRequests:
 		return clsShed
-	case code == http.StatusServiceUnavailable:
+	case ae.Status == http.StatusServiceUnavailable:
 		return clsUnavailable
-	case code == http.StatusGatewayTimeout:
+	case ae.Status == http.StatusGatewayTimeout:
 		return clsDeadline
-	case code >= 400 && code < 500:
+	case ae.Status >= 400 && ae.Status < 500:
 		return clsClient
 	}
 	return clsServer
@@ -141,34 +156,16 @@ func parseMix(s string) ([3]int, error) {
 	return mix, nil
 }
 
-var verticesRe = regexp.MustCompile(`"vertices":\s*(\d+)`)
-
-// discoverVertices reads the vertex count from a model's /healthz.
-func discoverVertices(client *http.Client, base string) (int, error) {
-	resp, err := client.Get(base + "/healthz")
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return 0, err
-	}
-	m := verticesRe.FindSubmatch(body)
-	if m == nil {
-		return 0, fmt.Errorf("%s/healthz reports no vertex count: %s", base, body)
-	}
-	return strconv.Atoi(string(m[1]))
-}
-
 // config is the parsed flag set; run is pure with respect to it.
 type config struct {
-	addr        string
+	addr        string // HTTP base URL (queries on json/wire, control plane always)
+	wireAddr    string // host:port of the framed TCP listener (tcp transport)
+	transport   string // json | wire | tcp
 	rate        float64
 	duration    time.Duration
 	timeout     time.Duration
 	mix         [3]int
-	prefixes    []string // "" or "/models/{name}", one per target model
+	models      []string // model names; "" targets the default model
 	seed        int64
 	reloadEvery time.Duration
 	churnShard  int // -1 = off
@@ -192,20 +189,41 @@ func (s summary) hardFailures() int {
 // run generates the load and collects the summary. The arrival clock
 // is open-loop: one request per tick, each on its own goroutine, so a
 // slow server piles up concurrency instead of slowing the clock. The
-// rng is only touched on the ticker goroutine, keeping the workload
-// sequence deterministic for a fixed seed regardless of response
-// timing.
+// rng is only touched on the ticker goroutine — every query is fully
+// decided (model, op, ids) before it is handed to a worker — keeping
+// the workload sequence deterministic for a fixed seed regardless of
+// response timing or transport.
 func run(cfg config) (summary, error) {
-	client := &http.Client{Timeout: cfg.timeout}
-	vertices := make([]int, len(cfg.prefixes))
-	for i, p := range cfg.prefixes {
-		var err error
-		if vertices[i], err = discoverVertices(client, cfg.addr+p); err != nil {
+	ctx := context.Background()
+	queryAddr := cfg.addr
+	if cfg.transport == "tcp" {
+		if cfg.wireAddr == "" {
+			return summary{}, fmt.Errorf("-transport tcp needs -wire-addr")
+		}
+		queryAddr = cfg.wireAddr
+	}
+	clients := make([]client.Client, len(cfg.models))
+	ops := make([]*client.Ops, len(cfg.models))
+	vertices := make([]int, len(cfg.models))
+	opsHTTP := &http.Client{Timeout: cfg.timeout}
+	for i, m := range cfg.models {
+		c, err := client.New(client.Config{
+			Transport: cfg.transport, Addr: queryAddr, Model: m, Timeout: cfg.timeout,
+		})
+		if err != nil {
 			return summary{}, err
 		}
-		if vertices[i] < 2 {
-			return summary{}, fmt.Errorf("%s serves %d vertices; need at least 2", cfg.addr+p, vertices[i])
+		defer c.Close()
+		clients[i] = c
+		ops[i] = client.NewOps(cfg.addr, m, opsHTTP)
+		h, err := ops[i].Health(ctx)
+		if err != nil {
+			return summary{}, fmt.Errorf("model %q: %w", m, err)
 		}
+		if h.Vertices < 2 {
+			return summary{}, fmt.Errorf("model %q serves %d vertices; need at least 2", m, h.Vertices)
+		}
+		vertices[i] = h.Vertices
 	}
 
 	rng := rand.New(rand.NewSource(cfg.seed))
@@ -213,15 +231,6 @@ func run(cfg config) (summary, error) {
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 
-	// post fires one operational-event request, draining the body so
-	// the connection is reusable.
-	post := func(url string) {
-		resp, err := client.Post(url, "application/json", nil)
-		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-		}
-	}
 	if cfg.reloadEvery > 0 {
 		wg.Add(1)
 		go func() {
@@ -233,8 +242,8 @@ func run(cfg config) (summary, error) {
 				case <-stop:
 					return
 				case <-t.C:
-					for _, p := range cfg.prefixes {
-						post(cfg.addr + p + "/reload")
+					for _, o := range ops {
+						o.Reload(ctx)
 					}
 				}
 			}
@@ -246,25 +255,24 @@ func run(cfg config) (summary, error) {
 			defer wg.Done()
 			t := time.NewTicker(cfg.churnEvery)
 			defer t.Stop()
-			flip := func(op string) {
-				for _, p := range cfg.prefixes {
-					post(fmt.Sprintf("%s%s/shards/%d/%s", cfg.addr, p, cfg.churnShard, op))
-				}
-			}
-			op := "stop"
+			stopNext := true
 			for {
 				select {
 				case <-stop:
 					// Leave the fleet healthy however the cycle ended.
-					flip("start")
+					for _, o := range ops {
+						o.StartShard(ctx, cfg.churnShard)
+					}
 					return
 				case <-t.C:
-					flip(op)
-					if op == "stop" {
-						op = "start"
-					} else {
-						op = "stop"
+					for _, o := range ops {
+						if stopNext {
+							o.StopShard(ctx, cfg.churnShard)
+						} else {
+							o.StartShard(ctx, cfg.churnShard)
+						}
 					}
+					stopNext = !stopNext
 				}
 			}
 		}()
@@ -278,40 +286,35 @@ func run(cfg config) (summary, error) {
 	tick := time.NewTicker(interval)
 	for time.Since(start) < cfg.duration {
 		<-tick.C
-		mi := rng.Intn(len(cfg.prefixes))
-		base, total := cfg.addr+cfg.prefixes[mi], vertices[mi]
+		mi := rng.Intn(len(cfg.models))
+		c, total := clients[mi], vertices[mi]
 		w := rng.Intn(cfg.mix[0] + cfg.mix[1] + cfg.mix[2])
-		var url string
+		var query func() error
 		switch {
 		case w < cfg.mix[0]:
-			n := 1 + rng.Intn(3)
-			ids := make([]string, n)
+			ids := make([]int, 1+rng.Intn(3))
 			for i := range ids {
-				ids[i] = strconv.Itoa(rng.Intn(total))
+				ids[i] = rng.Intn(total)
 			}
-			url = base + "/embed?ids=" + strings.Join(ids, ",")
+			query = func() error { _, err := c.Embed(ctx, ids); return err }
 		case w < cfg.mix[0]+cfg.mix[1]:
-			url = base + "/predict?ids=" + strconv.Itoa(rng.Intn(total))
+			ids := []int{rng.Intn(total)}
+			query = func() error { _, err := c.Predict(ctx, ids); return err }
 		default:
 			k := 1 + rng.Intn(5)
 			if k > total-1 {
 				k = total - 1
 			}
-			url = fmt.Sprintf("%s/topk?id=%d&k=%d", base, rng.Intn(total), k)
+			q := client.TopKQuery{ID: rng.Intn(total), K: k}
+			query = func() error { _, err := c.TopK(ctx, q); return err }
 		}
 		wg.Add(1)
-		go func(url string) {
+		go func() {
 			defer wg.Done()
 			t0 := time.Now()
-			resp, err := client.Get(url)
-			code := 0
-			if err == nil {
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				code = resp.StatusCode
-			}
-			col.record(classify(code, err), time.Since(t0))
-		}(url)
+			err := query()
+			col.record(classify(err), time.Since(t0))
+		}()
 	}
 	tick.Stop()
 	close(stop)
@@ -347,8 +350,8 @@ func benchEntry(w io.Writer, name string, s summary) {
 
 // report writes the human-readable summary.
 func report(w io.Writer, cfg config, s summary) {
-	fmt.Fprintf(w, "gsgcn-loadgen: %v at %.0f req/s over %d model(s)\n",
-		s.elapsed.Round(time.Millisecond), cfg.rate, len(cfg.prefixes))
+	fmt.Fprintf(w, "gsgcn-loadgen: %v at %.0f req/s over %d model(s), transport %s\n",
+		s.elapsed.Round(time.Millisecond), cfg.rate, len(cfg.models), cfg.transport)
 	fmt.Fprintf(w, "  latency p50=%v p99=%v p999=%v (ok answers only)\n", s.p50, s.p99, s.p999)
 	fmt.Fprintf(w, "  throughput %.1f ok/s\n", s.qps)
 	for cl := clsOK; cl < numClasses; cl++ {
@@ -365,18 +368,20 @@ func fatal(err error) {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the gsgcn-serve process")
-		rate     = flag.Float64("rate", 100, "open-loop arrival rate in requests/sec")
-		duration = flag.Duration("duration", 10*time.Second, "how long to generate load")
-		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout (counts as transport on expiry)")
-		mixFlag  = flag.String("mix", "2:1:1", "embed:predict:topk weights")
-		models   = flag.String("models", "", "comma-separated model names to spread load over (empty = the unprefixed default-model routes)")
-		seed     = flag.Int64("seed", 1, "workload RNG seed (id choices and endpoint mix)")
-		reload   = flag.Duration("reload-every", 0, "POST /reload to every model at this interval mid-traffic (0 = off)")
-		churn    = flag.Int("churn-shard", -1, "shard index to repeatedly stop and restart mid-traffic (-1 = off)")
-		churnDur = flag.Duration("churn-every", time.Second, "interval between shard stop/start flips when -churn-shard is set")
-		bench    = flag.String("bench", "", "emit a benchmerge run entry on stdout naming the benchmark (empty = off)")
-		failErrs = flag.Bool("fail-on-errors", false, "exit 1 when any client_error/server_error/transport occurred, or nothing succeeded")
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "base URL of the gsgcn-serve process")
+		wireAddr  = flag.String("wire-addr", "", "host:port of the server's framed TCP listener (required by -transport tcp)")
+		transport = flag.String("transport", "json", "query transport: json, wire (negotiated binary over HTTP) or tcp (persistent framed connection)")
+		rate      = flag.Float64("rate", 100, "open-loop arrival rate in requests/sec")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request client timeout (counts as transport on expiry)")
+		mixFlag   = flag.String("mix", "2:1:1", "embed:predict:topk weights")
+		models    = flag.String("models", "", "comma-separated model names to spread load over (empty = the default model)")
+		seed      = flag.Int64("seed", 1, "workload RNG seed (id choices and endpoint mix)")
+		reload    = flag.Duration("reload-every", 0, "hot-reload every model at this interval mid-traffic (0 = off)")
+		churn     = flag.Int("churn-shard", -1, "shard index to repeatedly stop and restart mid-traffic (-1 = off)")
+		churnDur  = flag.Duration("churn-every", time.Second, "interval between shard stop/start flips when -churn-shard is set")
+		bench     = flag.String("bench", "", "emit a benchmerge run entry on stdout naming the benchmark (empty = off)")
+		failErrs  = flag.Bool("fail-on-errors", false, "exit 1 when any client_error/server_error/transport occurred, or nothing succeeded")
 	)
 	flag.Parse()
 
@@ -384,22 +389,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prefixes := []string{""}
+	names := []string{""}
 	if *models != "" {
-		prefixes = nil
-		for _, m := range strings.Split(*models, ",") {
-			prefixes = append(prefixes, "/models/"+m)
-		}
+		names = strings.Split(*models, ",")
 	}
-	s, err := run(config{
-		addr: *addr, rate: *rate, duration: *duration, timeout: *timeout,
-		mix: mix, prefixes: prefixes, seed: *seed,
+	cfg := config{
+		addr: *addr, wireAddr: *wireAddr, transport: *transport,
+		rate: *rate, duration: *duration, timeout: *timeout,
+		mix: mix, models: names, seed: *seed,
 		reloadEvery: *reload, churnShard: *churn, churnEvery: *churnDur,
-	})
+	}
+	s, err := run(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	report(os.Stderr, config{rate: *rate, prefixes: prefixes}, s)
+	report(os.Stderr, cfg, s)
 	if *bench != "" {
 		benchEntry(os.Stdout, *bench, s)
 	}

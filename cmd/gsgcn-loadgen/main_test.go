@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -12,27 +13,28 @@ import (
 	"time"
 
 	"gsgcn"
+	"gsgcn/pkg/client"
 )
 
 func TestClassify(t *testing.T) {
+	api := func(status int) error { return &client.APIError{Status: status, Message: "x"} }
 	cases := []struct {
-		code int
 		err  error
 		want class
 	}{
-		{200, nil, clsOK},
-		{429, nil, clsShed},
-		{503, nil, clsUnavailable},
-		{504, nil, clsDeadline},
-		{400, nil, clsClient},
-		{404, nil, clsClient},
-		{500, nil, clsServer},
-		{502, nil, clsServer},
-		{0, errors.New("dial refused"), clsTransport},
+		{nil, clsOK},
+		{api(429), clsShed},
+		{api(503), clsUnavailable},
+		{api(504), clsDeadline},
+		{api(400), clsClient},
+		{api(404), clsClient},
+		{api(500), clsServer},
+		{api(502), clsServer},
+		{errors.New("dial refused"), clsTransport},
 	}
 	for _, c := range cases {
-		if got := classify(c.code, c.err); got != c.want {
-			t.Errorf("classify(%d, %v) = %s, want %s", c.code, c.err, classNames[got], classNames[c.want])
+		if got := classify(c.err); got != c.want {
+			t.Errorf("classify(%v) = %s, want %s", c.err, classNames[got], classNames[c.want])
 		}
 	}
 }
@@ -94,28 +96,6 @@ func TestCollectorRecordsLatencyOnlyForOK(t *testing.T) {
 	}
 }
 
-func TestDiscoverVertices(t *testing.T) {
-	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/healthz" {
-			http.NotFound(w, r)
-			return
-		}
-		w.Write([]byte(`{"model": "m", "vertices": 300, "version": 1}`))
-	}))
-	defer ts.Close()
-	client := &http.Client{Timeout: time.Second}
-	n, err := discoverVertices(client, ts.URL)
-	if err != nil || n != 300 {
-		t.Errorf("discoverVertices = %d, %v; want 300", n, err)
-	}
-	if _, err := discoverVertices(client, ts.URL+"/nope"); err == nil {
-		t.Error("healthz body without a vertex count should fail discovery")
-	}
-	if _, err := discoverVertices(client, "http://127.0.0.1:1"); err == nil {
-		t.Error("unreachable server should fail discovery")
-	}
-}
-
 func TestSummaryHardFailures(t *testing.T) {
 	var s summary
 	s.count[clsOK] = 10
@@ -173,21 +153,22 @@ func TestReportListsOnlyNonZeroClasses(t *testing.T) {
 	s.count[clsShed] = 1
 	s.elapsed = time.Second
 	var buf strings.Builder
-	report(&buf, config{rate: 50, prefixes: []string{""}}, s)
+	report(&buf, config{rate: 50, transport: "json", models: []string{""}}, s)
 	out := buf.String()
 	for _, want := range []string{"ok", "shed", "p50", "p99"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
 	}
-	if strings.Contains(out, "transport") {
+	if strings.Contains(out, "transport 0") {
 		t.Errorf("report lists a zero class:\n%s", out)
 	}
 }
 
-// loadgenRegistry stands up a real single-model registry serving the
-// unprefixed routes, trained just enough to answer queries.
-func loadgenRegistry(t *testing.T) *httptest.Server {
+// loadgenRegistry stands up a real single-model registry serving both
+// the HTTP surface and the framed TCP listener, trained just enough
+// to answer queries. Returns the HTTP base URL and the TCP address.
+func loadgenRegistry(t *testing.T) (string, string) {
 	t.Helper()
 	ds := gsgcn.GenerateDataset(gsgcn.DatasetConfig{
 		Name: "loadgen-test", Vertices: 200, TargetEdges: 1500,
@@ -213,37 +194,48 @@ func loadgenRegistry(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(reg)
-	t.Cleanup(func() {
-		ts.Close()
-		reg.Close()
-	})
-	return ts
-}
-
-// TestRunAgainstRegistry drives the full open-loop generator against a
-// real serving registry, reloads included: every request must come
-// back 200 and the percentiles must be populated.
-func TestRunAgainstRegistry(t *testing.T) {
-	ts := loadgenRegistry(t)
-	s, err := run(config{
-		addr: ts.URL, rate: 200, duration: 500 * time.Millisecond,
-		timeout: 5 * time.Second, mix: [3]int{2, 1, 1}, prefixes: []string{""},
-		seed: 1, reloadEvery: 150 * time.Millisecond, churnShard: -1,
-	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.count[clsOK] == 0 {
-		t.Fatalf("no request succeeded: %v", s.count)
-	}
-	if bad := s.hardFailures(); bad != 0 {
-		t.Fatalf("%d hard failures against a healthy registry: %v", bad, s.count)
-	}
-	if s.p50 <= 0 || s.p99 < s.p50 || s.p999 < s.p99 {
-		t.Errorf("percentiles not ordered: p50=%v p99=%v p999=%v", s.p50, s.p99, s.p999)
-	}
-	if s.qps <= 0 {
-		t.Errorf("qps = %v", s.qps)
+	go reg.ServeWire(ln)
+	t.Cleanup(func() {
+		ts.Close()
+		ln.Close()
+		reg.Close()
+	})
+	return ts.URL, ln.Addr().String()
+}
+
+// TestRunAgainstRegistry drives the full open-loop generator against a
+// real serving registry over every transport, reloads included: every
+// request must come back 200 and the percentiles must be populated.
+func TestRunAgainstRegistry(t *testing.T) {
+	httpURL, tcpAddr := loadgenRegistry(t)
+	for _, transport := range []string{"json", "wire", "tcp"} {
+		t.Run(transport, func(t *testing.T) {
+			s, err := run(config{
+				addr: httpURL, wireAddr: tcpAddr, transport: transport,
+				rate: 200, duration: 500 * time.Millisecond,
+				timeout: 5 * time.Second, mix: [3]int{2, 1, 1}, models: []string{""},
+				seed: 1, reloadEvery: 150 * time.Millisecond, churnShard: -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.count[clsOK] == 0 {
+				t.Fatalf("no request succeeded: %v", s.count)
+			}
+			if bad := s.hardFailures(); bad != 0 {
+				t.Fatalf("%d hard failures against a healthy registry: %v", bad, s.count)
+			}
+			if s.p50 <= 0 || s.p99 < s.p50 || s.p999 < s.p99 {
+				t.Errorf("percentiles not ordered: p50=%v p99=%v p999=%v", s.p50, s.p99, s.p999)
+			}
+			if s.qps <= 0 {
+				t.Errorf("qps = %v", s.qps)
+			}
+		})
 	}
 }
 
@@ -255,18 +247,21 @@ func TestRunChurnFlipsShard(t *testing.T) {
 	var flips []string
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch {
-		case r.URL.Path == "/healthz":
+		case r.URL.Path == "/v1/healthz":
 			w.Write([]byte(`{"vertices": 50}`))
-		case strings.HasPrefix(r.URL.Path, "/shards/2/"):
+		case strings.HasPrefix(r.URL.Path, "/v1/shards/2/"):
 			mu.Lock()
-			flips = append(flips, strings.TrimPrefix(r.URL.Path, "/shards/2/"))
+			flips = append(flips, strings.TrimPrefix(r.URL.Path, "/v1/shards/2/"))
 			mu.Unlock()
+			w.Write([]byte(`{}`))
+		default:
+			w.Write([]byte(`{}`))
 		}
 	}))
 	defer ts.Close()
 	s, err := run(config{
-		addr: ts.URL, rate: 50, duration: 350 * time.Millisecond,
-		timeout: time.Second, mix: [3]int{1, 1, 1}, prefixes: []string{""},
+		addr: ts.URL, transport: "json", rate: 50, duration: 350 * time.Millisecond,
+		timeout: time.Second, mix: [3]int{1, 1, 1}, models: []string{""},
 		seed: 2, churnShard: 2, churnEvery: 100 * time.Millisecond,
 	})
 	if err != nil {
@@ -290,8 +285,8 @@ func TestRunChurnFlipsShard(t *testing.T) {
 
 func TestRunRejectsUndiscoverableTargets(t *testing.T) {
 	base := config{
-		rate: 10, duration: 50 * time.Millisecond, timeout: time.Second,
-		mix: [3]int{1, 1, 1}, prefixes: []string{""},
+		transport: "json", rate: 10, duration: 50 * time.Millisecond, timeout: time.Second,
+		mix: [3]int{1, 1, 1}, models: []string{""},
 	}
 	cfg := base
 	cfg.addr = "http://127.0.0.1:1"
@@ -306,5 +301,11 @@ func TestRunRejectsUndiscoverableTargets(t *testing.T) {
 	cfg.addr = ts.URL
 	if _, err := run(cfg); err == nil {
 		t.Error("a 1-vertex model cannot serve topk; run should refuse it")
+	}
+	cfg = base
+	cfg.transport = "tcp"
+	cfg.addr = ts.URL
+	if _, err := run(cfg); err == nil {
+		t.Error("-transport tcp without -wire-addr should be rejected")
 	}
 }

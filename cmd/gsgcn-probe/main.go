@@ -1,0 +1,229 @@
+// Command gsgcn-probe checks the cross-transport contract of a live
+// gsgcn-serve process: the same queries are issued over JSON HTTP,
+// binary-negotiated HTTP and (when -wire-addr is given) the
+// persistent framed TCP transport, and every answer must decode to
+// identical results — float64s bit for bit — with identical error
+// envelopes on rejections. It is the smoke suite's transport gate,
+// built on pkg/client so the probe exercises exactly the SDK paths a
+// real consumer would.
+//
+// With -reload-storm N the probe additionally holds one TCP
+// connection open across N back-to-back hot reloads, interleaving
+// queries: the connection must survive every swap, answers must keep
+// coming, and the snapshot version must advance.
+//
+//	gsgcn-probe -addr http://127.0.0.1:8080 -wire-addr 127.0.0.1:9001 \
+//	    -ids 0,1,2 -topk-id 0 -topk-k 3 -reload-storm 5
+//
+// Exit status 0 means every check passed; any mismatch or transport
+// failure reports to stderr and exits 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"gsgcn/internal/serve"
+	"gsgcn/pkg/client"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gsgcn-probe:", err)
+	os.Exit(1)
+}
+
+// parseIDs parses the -ids flag.
+func parseIDs(s string) ([]int, error) {
+	var ids []int
+	for _, tok := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("-ids %q: bad id %q", s, tok)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// outcome flattens a result or API rejection for comparison; other
+// errors are fatal (the probe targets a healthy server).
+func outcome(res any, err error) (any, error) {
+	if err == nil {
+		return res, nil
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		return *ae, nil
+	}
+	return nil, err
+}
+
+// bitsOf canonicalizes float64 rows to their IEEE-754 bits so the
+// comparison cannot be fooled by -0 == 0.
+func bitsOf(rows [][]float64) [][]uint64 {
+	out := make([][]uint64, len(rows))
+	for i, r := range rows {
+		out[i] = make([]uint64, len(r))
+		for j, v := range r {
+			out[i][j] = math.Float64bits(v)
+		}
+	}
+	return out
+}
+
+// equalOutcome compares two flattened outcomes including exact float
+// bits.
+func equalOutcome(a, b any) bool {
+	if !reflect.DeepEqual(a, b) {
+		return false
+	}
+	switch ra := a.(type) {
+	case *serve.EmbedResult:
+		return reflect.DeepEqual(bitsOf(ra.Vectors), bitsOf(b.(*serve.EmbedResult).Vectors))
+	case *serve.PredictResult:
+		return reflect.DeepEqual(bitsOf(ra.Probs), bitsOf(b.(*serve.PredictResult).Probs))
+	}
+	return true
+}
+
+// checkEquivalence runs the query set over every transport and
+// requires identical outcomes, using the first transport as the
+// reference.
+func checkEquivalence(ctx context.Context, cs map[string]client.Client, ids []int, tq client.TopKQuery) error {
+	queries := []struct {
+		label string
+		run   func(client.Client) (any, error)
+	}{
+		{"embed", func(c client.Client) (any, error) { return c.Embed(ctx, ids) }},
+		{"predict", func(c client.Client) (any, error) { return c.Predict(ctx, ids) }},
+		{"topk", func(c client.Client) (any, error) { return c.TopK(ctx, tq) }},
+		{"topk-exact", func(c client.Client) (any, error) {
+			q := tq
+			q.Mode, q.Ef = "exact", 0
+			return c.TopK(ctx, q)
+		}},
+		// 1<<30 is 10 decimal digits: within the HTTP parser's token
+		// guard, so every transport reaches the same range check and
+		// rejects with the same envelope.
+		{"embed-bad-id", func(c client.Client) (any, error) { return c.Embed(ctx, []int{1 << 30}) }},
+	}
+	for _, q := range queries {
+		ref, refName := any(nil), ""
+		for name, c := range cs {
+			res, err := q.run(c)
+			got, err := outcome(res, err)
+			if err != nil {
+				return fmt.Errorf("%s over %s: %w", q.label, name, err)
+			}
+			if refName == "" {
+				ref, refName = got, name
+				continue
+			}
+			if !equalOutcome(ref, got) {
+				return fmt.Errorf("%s: %s answer differs from %s:\n %s: %#v\n %s: %#v",
+					q.label, name, refName, refName, ref, name, got)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "gsgcn-probe: %-12s identical across %d transports\n", q.label, len(cs))
+	}
+	return nil
+}
+
+// reloadStorm holds one TCP connection across n hot reloads with
+// queries interleaved, proving the persistent transport survives
+// snapshot swaps without a reconnect.
+func reloadStorm(ctx context.Context, tcp client.Client, ops *client.Ops, ids []int, n int) error {
+	before, err := tcp.Embed(ctx, ids)
+	if err != nil {
+		return fmt.Errorf("pre-storm query: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := ops.Reload(ctx); err != nil {
+			return fmt.Errorf("reload %d: %w", i+1, err)
+		}
+		res, err := tcp.Embed(ctx, ids)
+		if err != nil {
+			return fmt.Errorf("query after reload %d: connection did not survive: %w", i+1, err)
+		}
+		if !equalOutcome(before, res) {
+			// Same checkpoint reloaded: only the version may move.
+			res2 := *res
+			res2.Version = before.Version
+			if !equalOutcome(before, &res2) {
+				return fmt.Errorf("answer changed across reload %d of the same checkpoint", i+1)
+			}
+		}
+	}
+	after, err := tcp.Embed(ctx, ids)
+	if err != nil {
+		return err
+	}
+	if after.Version < before.Version+uint64(n) {
+		return fmt.Errorf("snapshot version only advanced %d -> %d across %d reloads",
+			before.Version, after.Version, n)
+	}
+	fmt.Fprintf(os.Stderr, "gsgcn-probe: TCP connection survived %d reloads (version %d -> %d)\n",
+		n, before.Version, after.Version)
+	return nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the gsgcn-serve process")
+		wireAddr = flag.String("wire-addr", "", "host:port of the framed TCP listener (adds the tcp transport to the checks)")
+		model    = flag.String("model", "", "model to probe (empty = the default model)")
+		idsFlag  = flag.String("ids", "0,1,2", "vertex ids for the embed/predict probes")
+		topkID   = flag.Int("topk-id", 0, "query vertex for the topk probe")
+		topkK    = flag.Int("topk-k", 3, "k for the topk probe")
+		storm    = flag.Int("reload-storm", 0, "hold one TCP connection across this many hot reloads (0 = off; needs -wire-addr)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	ids, err := parseIDs(*idsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+
+	cs := make(map[string]client.Client)
+	for _, tr := range []string{"json", "wire"} {
+		c, err := client.New(client.Config{Transport: tr, Addr: *addr, Model: *model, Timeout: *timeout})
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		cs[tr] = c
+	}
+	if *wireAddr != "" {
+		c, err := client.New(client.Config{Transport: "tcp", Addr: *wireAddr, Model: *model, Timeout: *timeout})
+		if err != nil {
+			fatal(fmt.Errorf("dialing %s: %w", *wireAddr, err))
+		}
+		defer c.Close()
+		cs["tcp"] = c
+	}
+
+	if err := checkEquivalence(ctx, cs, ids, client.TopKQuery{ID: *topkID, K: *topkK}); err != nil {
+		fatal(err)
+	}
+	if *storm > 0 {
+		tcp, ok := cs["tcp"]
+		if !ok {
+			fatal(fmt.Errorf("-reload-storm needs -wire-addr"))
+		}
+		ops := client.NewOps(*addr, *model, nil)
+		if err := reloadStorm(ctx, tcp, ops, ids, *storm); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "gsgcn-probe: OK")
+}

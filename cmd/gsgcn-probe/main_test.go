@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gsgcn"
+	"gsgcn/internal/serve"
+	"gsgcn/pkg/client"
+)
+
+func TestParseIDs(t *testing.T) {
+	ids, err := parseIDs("0,7,42")
+	if err != nil || len(ids) != 3 || ids[0] != 0 || ids[1] != 7 || ids[2] != 42 {
+		t.Errorf("parseIDs(0,7,42) = %v, %v", ids, err)
+	}
+	for _, bad := range []string{"", "a", "1,,2", "1;2"} {
+		if _, err := parseIDs(bad); err == nil {
+			t.Errorf("parseIDs(%q) should fail", bad)
+		}
+	}
+}
+
+func TestOutcomeFlattensAPIErrors(t *testing.T) {
+	res := &serve.EmbedResult{Dim: 4}
+	if got, err := outcome(res, nil); err != nil || got != any(res) {
+		t.Errorf("outcome(res, nil) = %v, %v", got, err)
+	}
+	ae := &client.APIError{Status: 400, Message: "bad"}
+	got, err := outcome(nil, ae)
+	if err != nil || got != any(*ae) {
+		t.Errorf("outcome(nil, APIError) = %v, %v", got, err)
+	}
+	if _, err := outcome(nil, errors.New("dial refused")); err == nil {
+		t.Error("transport errors must stay fatal, not become outcomes")
+	}
+}
+
+func TestEqualOutcomePinsFloatBits(t *testing.T) {
+	a := &serve.EmbedResult{Vectors: [][]float64{{0}}}
+	b := &serve.EmbedResult{Vectors: [][]float64{{0}}}
+	if !equalOutcome(a, b) {
+		t.Error("identical results must compare equal")
+	}
+	b.Vectors[0][0] = 1
+	if equalOutcome(a, b) {
+		t.Error("different vectors must compare unequal")
+	}
+	if !equalOutcome(client.APIError{Status: 404}, client.APIError{Status: 404}) {
+		t.Error("identical rejections must compare equal")
+	}
+	if equalOutcome(client.APIError{Status: 404}, client.APIError{Status: 400}) {
+		t.Error("different rejections must compare unequal")
+	}
+}
+
+// probeFleet serves one trained model over HTTP and the wire listener.
+func probeFleet(t *testing.T) (string, string) {
+	t.Helper()
+	ds := gsgcn.GenerateDataset(gsgcn.DatasetConfig{
+		Name: "probe-test", Vertices: 150, TargetEdges: 1100,
+		FeatureDim: 8, NumClasses: 3, Homophily: 0.8, NoiseStd: 0.5, Seed: 5,
+	})
+	m := gsgcn.NewModel(ds, gsgcn.Config{
+		Layers: 2, Hidden: 8, Workers: 1, Seed: 13,
+		FrontierM: 30, Budget: 120, PInter: 1,
+	})
+	tr := gsgcn.NewTrainer(ds, m)
+	tr.Step()
+	m.ModelVersion = uint64(tr.Steps())
+	ckpt := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := m.SaveFile(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	reg := gsgcn.NewModelRegistry()
+	srv, err := reg.Add("m", ds, gsgcn.ServeOptions{Workers: 1, ANN: true, ANNEf: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Load(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go reg.ServeWire(ln)
+	t.Cleanup(func() {
+		ts.Close()
+		ln.Close()
+		reg.Close()
+	})
+	return ts.URL, ln.Addr().String()
+}
+
+// TestProbeChecksAgainstFleet runs the probe's own check functions —
+// transport equivalence and the TCP reload storm — against a real
+// fleet, exactly as the smoke suite invokes them.
+func TestProbeChecksAgainstFleet(t *testing.T) {
+	httpURL, tcpAddr := probeFleet(t)
+	ctx := context.Background()
+	cs := make(map[string]client.Client)
+	for tr, addr := range map[string]string{"json": httpURL, "wire": httpURL, "tcp": tcpAddr} {
+		c, err := client.New(client.Config{Transport: tr, Addr: addr, Model: "m", Timeout: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		cs[tr] = c
+	}
+	if err := checkEquivalence(ctx, cs, []int{0, 1, 2}, client.TopKQuery{ID: 0, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ops := client.NewOps(httpURL, "m", http.DefaultClient)
+	if err := reloadStorm(ctx, cs["tcp"], ops, []int{0, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+}

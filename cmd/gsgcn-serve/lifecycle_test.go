@@ -76,7 +76,7 @@ func TestHandleSignalsDrainsBeforeClose(t *testing.T) {
 
 	sigs := make(chan os.Signal, 1)
 	done := make(chan struct{})
-	go handleSignals(sigs, httpSrv, reg, 5*time.Second, done)
+	go handleSignals(sigs, httpSrv, nil, reg, 5*time.Second, done)
 
 	var health struct {
 		Version uint64 `json:"version"`

@@ -59,8 +59,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -239,6 +241,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.05, "preset scale relative to Table I")
 		seed    = flag.Uint64("seed", 1, "preset generation seed (must match training)")
 		addr    = flag.String("addr", ":8080", "listen address")
+		wireAt  = flag.String("wire-addr", "", "also serve the persistent binary wire transport on this TCP address (e.g. :9001); off when empty — see docs/API.md for the framing")
 		workers = flag.Int("workers", 0, "goroutines for embedding computation and top-K scans (0 = GOMAXPROCS)")
 		block   = flag.Int("block", 0, "vertices per streamed inference block (0 = 256)")
 		batch   = flag.Int("batch", 0, "max queries coalesced per micro-batch (0 = 64, 1 = off)")
@@ -410,10 +413,26 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *addr, Handler: reg}
 
+	// The wire listener rides the same registry: frames run through
+	// the same admission, deadline and batching as HTTP requests.
+	var wireLn net.Listener
+	if *wireAt != "" {
+		var err error
+		if wireLn, err = net.Listen("tcp", *wireAt); err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := reg.ServeWire(wireLn); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Event("wire_error", gsgcn.Log("error", err.Error()))
+			}
+		}()
+		logger.Event("wire_listening", gsgcn.Log("addr", wireLn.Addr().String()))
+	}
+
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
 	done := make(chan struct{})
-	go handleSignals(sigs, httpSrv, reg, 10*time.Second, done)
+	go handleSignals(sigs, httpSrv, wireLn, reg, 10*time.Second, done)
 
 	logger.Event("listening", gsgcn.Log("addr", *addr), gsgcn.Log("models", len(specs)))
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -435,7 +454,7 @@ func main() {
 // would answer still-draining requests with spurious 503s. Its error
 // is logged, not dropped: a deadline expiry means requests really
 // were cut off, and silence there cost us a dropped-work bug.
-func handleSignals(sigs <-chan os.Signal, httpSrv *http.Server, reg *gsgcn.ModelRegistry, drainTimeout time.Duration, done chan<- struct{}) {
+func handleSignals(sigs <-chan os.Signal, httpSrv *http.Server, wireLn net.Listener, reg *gsgcn.ModelRegistry, drainTimeout time.Duration, done chan<- struct{}) {
 	defer close(done)
 	for sig := range sigs {
 		if sig == syscall.SIGHUP {
@@ -443,6 +462,11 @@ func handleSignals(sigs <-chan os.Signal, httpSrv *http.Server, reg *gsgcn.Model
 			continue
 		}
 		logger.Event("shutdown", gsgcn.Log("signal", sig.String()))
+		// Stop accepting wire connections before the HTTP drain; wire
+		// requests already dispatched keep answering until reg.Close.
+		if wireLn != nil {
+			wireLn.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		err := httpSrv.Shutdown(ctx)
 		cancel()

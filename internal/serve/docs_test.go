@@ -75,8 +75,9 @@ func TestRegisteredRoutesComplete(t *testing.T) {
 		}
 	}
 	// /models + the bare /models/{name} alias + both spellings of
-	// every per-model endpoint and every shard operation.
-	want := 2 + 2*(len(perModelEndpoints)+len(shardEndpoints))
+	// every per-model endpoint and every shard operation — then the
+	// whole surface again under the /v1 prefix.
+	want := 2 * (2 + 2*(len(perModelEndpoints)+len(shardEndpoints)))
 	if got := len(RegisteredRoutes()); got != want {
 		t.Errorf("RegisteredRoutes lists %d routes, want %d", got, want)
 	}
@@ -88,6 +89,17 @@ func TestRegisteredRoutesComplete(t *testing.T) {
 		seen[r.Pattern] = true
 		if r.Methods == "" {
 			t.Errorf("route %s declares no methods", r.Pattern)
+		}
+	}
+	// Every route must come in exactly the two spellings: /v1 canonical
+	// and the unprefixed legacy alias.
+	for _, r := range RegisteredRoutes() {
+		if v1, ok := strings.CutPrefix(r.Pattern, "/v1/"); ok {
+			if !seen["/"+v1] {
+				t.Errorf("v1 route %s has no legacy alias", r.Pattern)
+			}
+		} else if !seen["/v1"+r.Pattern] {
+			t.Errorf("route %s has no /v1 spelling", r.Pattern)
 		}
 	}
 }

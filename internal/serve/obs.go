@@ -42,6 +42,12 @@ type modelMetrics struct {
 	model     string
 	log       *obs.Logger
 	endpoints map[string]*endpointMetrics
+
+	// reqHTTP/reqWire split gsgcn_requests_total by transport: every
+	// request through the HTTP surface (JSON or negotiated binary
+	// body) versus every frame on the persistent TCP listener.
+	reqHTTP *obs.Counter
+	reqWire *obs.Counter
 }
 
 // newModelMetrics pre-registers handles for the given endpoint
@@ -60,7 +66,20 @@ func newModelMetrics(reg *obs.Registry, model string, log *obs.Logger, endpoints
 		mm.endpoints[ep] = newEndpointMetrics(reg, model, ep)
 	}
 	mm.endpoints[epOther] = newEndpointMetrics(reg, model, epOther)
+	const reqHelp = "Requests served, by model and transport (http = the HTTP surface, wire = the persistent TCP listener)."
+	mm.reqHTTP = reg.Counter("gsgcn_requests_total", reqHelp,
+		map[string]string{"model": model, "transport": "http"})
+	mm.reqWire = reg.Counter("gsgcn_requests_total", reqHelp,
+		map[string]string{"model": model, "transport": "wire"})
 	return mm
+}
+
+// countWire bills one wire-transport frame. Nil-safe like serve, so
+// hand-wired servers without instruments keep working.
+func (mm *modelMetrics) countWire() {
+	if mm != nil {
+		mm.reqWire.Inc()
+	}
 }
 
 func newEndpointMetrics(reg *obs.Registry, model, ep string) *endpointMetrics {
@@ -151,6 +170,7 @@ func (mm *modelMetrics) serve(endpoint string, h http.Handler, w http.ResponseWr
 	if em == nil {
 		endpoint, em = epOther, mm.endpoints[epOther]
 	}
+	mm.reqHTTP.Inc()
 	var (
 		id uint64
 		an *reqAnnot

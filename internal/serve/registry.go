@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
@@ -70,6 +71,13 @@ type ModelServer interface {
 	health() healthBody
 	modelInfo() modelInfo
 	instruments() *modelMetrics
+
+	// The wire-native query paths (see wire.go): the binary transport
+	// dispatches straight to these, bypassing HTTP parsing but running
+	// the same admission gate, deadline bound and micro-batcher.
+	wireEmbed(ctx context.Context, ids []int) (*EmbedResult, error)
+	wirePredict(ctx context.Context, ids []int) (*PredictResult, error)
+	wireTopK(q topkQuery, kSet bool) (*TopKResult, error)
 }
 
 // modelInfo is the configuration summary a ModelServer reports for
@@ -355,7 +363,10 @@ func (r *Registry) handleMetrics(w http.ResponseWriter, req *http.Request) {
 // instruments, registry-level ones (listing, global scrape, unknown
 // names) under the registry's.
 func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
-	path := req.URL.Path
+	// The /v1 prefix is a spelling, not a route: fold it away once and
+	// dispatch the canonical path (model muxes fold their own copy, so
+	// the legacy fallthrough passes the request untouched).
+	path := stripV1(req.URL.Path)
 	if path == "/models" || path == "/models/" {
 		r.inst.serve("/models", http.HandlerFunc(r.handleList), w, req)
 		return

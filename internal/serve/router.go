@@ -569,7 +569,7 @@ var shardEndpoints = []RouteDoc{
 // the obs middleware, with shard-operation paths normalized to their
 // documented patterns so a shard index can never mint a label value.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	endpoint, h := rt.route(r.URL.Path)
+	endpoint, h := rt.route(stripV1(r.URL.Path))
 	rt.inst.serve(endpoint, h, w, r)
 }
 
@@ -598,7 +598,7 @@ func (rt *Router) route(path string) (string, http.HandlerFunc) {
 		}
 		return epOther, h
 	}
-	return epOther, http.NotFound
+	return epOther, notFoundHandler
 }
 
 // instruments exposes the router's obs middleware to the registry.
@@ -613,64 +613,64 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	release, err := rt.gate.admit()
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	defer release()
 	ids, err := parseIDs(r)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	ctx, cancel := queryCtx(r, rt.opts.Deadline)
 	defer cancel()
 	res, n, err := rt.embed(ctx, ids)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	annotFanout(r.Context(), n)
-	writeJSON(w, http.StatusOK, res)
+	writeEmbedRes(w, r, res)
 }
 
 func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 	release, err := rt.gate.admit()
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	defer release()
 	ids, err := parseIDs(r)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	ctx, cancel := queryCtx(r, rt.opts.Deadline)
 	defer cancel()
 	res, n, err := rt.predict(ctx, ids)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	annotFanout(r.Context(), n)
-	writeJSON(w, http.StatusOK, res)
+	writePredictRes(w, r, res)
 }
 
 func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 	release, err := rt.gate.admit()
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	defer release()
 	tq, err := parseTopKQuery(r, rt.ds.G.NumVertices(), rt.opts.ANN)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	res, err := rt.TopKWith(tq.id, tq.k, tq.mode, tq.ef)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	live := 0
@@ -680,7 +680,7 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	annotFanout(r.Context(), live)
-	writeJSON(w, http.StatusOK, res)
+	writeTopKRes(w, r, res)
 }
 
 // shardState is one shard's entry in GET /shards and the router's
@@ -852,7 +852,7 @@ func (rt *Router) handleShardOp(w http.ResponseWriter, r *http.Request, rest str
 	idxStr, op, _ := strings.Cut(rest, "/")
 	i, err := strconv.Atoi(idxStr)
 	if err != nil || op != "stop" && op != "start" {
-		http.NotFound(w, r)
+		notFoundHandler(w, r)
 		return
 	}
 	if r.Method != http.MethodPost {

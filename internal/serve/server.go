@@ -96,7 +96,10 @@ var perModelEndpoints = []RouteDoc{
 // RegisteredRoutes returns every HTTP route a Registry-fronted
 // process serves: the registry's own endpoints plus both spellings of
 // each per-model endpoint and of each shard operation (served when
-// the model is sharded). docs/API.md must document all of them.
+// the model is sharded), each additionally registered under the
+// versioned /v1 prefix (the canonical spelling; the unprefixed routes
+// are byte-compatible legacy aliases). docs/API.md must document all
+// of them.
 func RegisteredRoutes() []RouteDoc {
 	routes := []RouteDoc{
 		{"GET", "/models"},
@@ -116,7 +119,30 @@ func RegisteredRoutes() []RouteDoc {
 	for _, e := range shardEndpoints {
 		routes = append(routes, e)
 	}
+	for _, e := range append([]RouteDoc(nil), routes...) {
+		routes = append(routes, RouteDoc{e.Methods, "/v1" + e.Pattern})
+	}
 	return routes
+}
+
+// stripV1 folds the versioned /v1 spelling of a path onto its
+// unprefixed alias, so both spellings share one dispatch table and
+// one pre-registered endpoint metric label (the cardinality bound:
+// the version prefix must not mint new label values).
+func stripV1(path string) string {
+	if rest, ok := strings.CutPrefix(path, "/v1/"); ok {
+		return "/" + rest
+	}
+	return path
+}
+
+// notFoundHandler answers unroutable paths with the JSON error
+// envelope — the one error shape every endpoint speaks (the net/http
+// default would emit a plain-text 404). The /v1 prefix is folded
+// away so an unknown path 404s byte-identically under both
+// spellings, like every other answer.
+func notFoundHandler(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("serve: unknown endpoint %q", stripV1(r.URL.Path))})
 }
 
 // handlerFor maps an endpoint pattern to its handler on s.
@@ -153,8 +179,11 @@ func NewServer(ds *datasets.Dataset, opts Options) *Server {
 	s.inst = newModelMetrics(opts.Obs, opts.ModelName, opts.AccessLog, endpointPatterns(perModelEndpoints))
 	mux := http.NewServeMux()
 	for _, e := range perModelEndpoints {
-		mux.HandleFunc(e.Pattern, s.handlerFor(e.Pattern))
+		h := s.handlerFor(e.Pattern)
+		mux.HandleFunc(e.Pattern, h)
+		mux.HandleFunc("/v1"+e.Pattern, h)
 	}
+	mux.HandleFunc("/", notFoundHandler)
 	s.mux = mux
 	return s
 }
@@ -200,9 +229,10 @@ func (s *Server) Close() { s.bat.close() }
 
 // ServeHTTP implements http.Handler. Every request — known endpoint
 // or not — runs under the obs middleware; unknown paths fold into the
-// catch-all endpoint label.
+// catch-all endpoint label, and /v1 spellings share their alias's
+// label.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.inst.serve(r.URL.Path, s.mux, w, r)
+	s.inst.serve(stripV1(r.URL.Path), s.mux, w, r)
 }
 
 // instruments exposes the server's obs middleware to the registry,
@@ -283,14 +313,20 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, statusFor(err), errorBody{Error: err.Error(), Reason: reasonFor(err)})
 }
 
-// queryCtx derives the context a query runs under: the client's own
-// request context (canceled by net/http on disconnect) bounded by the
-// configured per-model deadline when one is set.
-func queryCtx(r *http.Request, deadline time.Duration) (context.Context, context.CancelFunc) {
+// boundCtx bounds a query context by the configured per-model
+// deadline when one is set. It backs both transports: HTTP handlers
+// pass the request context (canceled by net/http on disconnect), the
+// wire listener its per-connection context.
+func boundCtx(ctx context.Context, deadline time.Duration) (context.Context, context.CancelFunc) {
 	if deadline <= 0 {
-		return r.Context(), func() {}
+		return ctx, func() {}
 	}
-	return context.WithTimeout(r.Context(), deadline)
+	return context.WithTimeout(ctx, deadline)
+}
+
+// queryCtx derives the context an HTTP query runs under.
+func queryCtx(r *http.Request, deadline time.Duration) (context.Context, context.CancelFunc) {
+	return boundCtx(r.Context(), deadline)
 }
 
 // parseVertexID is the one vertex-id parser for every query
@@ -347,59 +383,69 @@ func parseIDs(r *http.Request) ([]int, error) {
 	default:
 		return nil, fmt.Errorf("%w: %s", errMethod, r.Method)
 	}
-	if len(ids) == 0 {
-		return nil, fmt.Errorf("serve: no ids given")
-	}
-	if len(ids) > maxQueryIDs {
-		return nil, fmt.Errorf("serve: %d ids exceeds the per-request limit of %d", len(ids), maxQueryIDs)
+	if err := checkQueryIDs(ids); err != nil {
+		return nil, err
 	}
 	return ids, nil
+}
+
+// checkQueryIDs enforces the id-list bounds every transport shares:
+// HTTP and wire requests reject empty and oversized lists with
+// identical error text (the cross-transport equivalence contract).
+func checkQueryIDs(ids []int) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("serve: no ids given")
+	}
+	if len(ids) > maxQueryIDs {
+		return fmt.Errorf("serve: %d ids exceeds the per-request limit of %d", len(ids), maxQueryIDs)
+	}
+	return nil
 }
 
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	release, err := s.gate.admit()
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	defer release()
 	ids, err := parseIDs(r)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	ctx, cancel := queryCtx(r, s.eng.opts.Deadline)
 	defer cancel()
 	res, batch, err := s.bat.Embed(ctx, ids)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	annotBatch(r.Context(), batch)
-	writeJSON(w, http.StatusOK, res)
+	writeEmbedRes(w, r, res)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	release, err := s.gate.admit()
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	defer release()
 	ids, err := parseIDs(r)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	ctx, cancel := queryCtx(r, s.eng.opts.Deadline)
 	defer cancel()
 	res, batch, err := s.bat.Predict(ctx, ids)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	annotBatch(r.Context(), batch)
-	writeJSON(w, http.StatusOK, res)
+	writePredictRes(w, r, res)
 }
 
 // topkQuery is a parsed /topk request.
@@ -425,53 +471,72 @@ func parseTopKQuery(r *http.Request, vertices int, annEnabled bool) (topkQuery, 
 	if err != nil {
 		return topkQuery{}, err
 	}
-	k := 10
+	k, kSet := 0, false
 	if raw := q.Get("k"); raw != "" {
+		kSet = true
 		if k, err = strconv.Atoi(raw); err != nil {
 			return topkQuery{}, fmt.Errorf("serve: bad k parameter %q", raw)
 		}
-	} else if k > vertices-1 {
-		// The client sent no k: clamp the server-side default to the
-		// graph rather than rejecting it for exceeding |V|-1 (an
-		// explicit out-of-range k is still an error).
-		k = vertices - 1
 	}
+	// Validate the mode string before parsing ef so a doubly-invalid
+	// request reports the bad mode first, as it always has.
 	mode := q.Get("mode")
-	switch mode {
-	case ModeAuto, ModeExact, ModeANN:
-	default:
-		return topkQuery{}, fmt.Errorf("serve: bad mode parameter %q (want exact or ann)", mode)
+	if _, err := resolveTopK(topkQuery{mode: mode}, true, vertices, annEnabled); err != nil {
+		return topkQuery{}, err
 	}
 	ef := 0
 	if raw := q.Get("ef"); raw != "" {
 		if ef, err = strconv.Atoi(raw); err != nil || ef < 1 {
 			return topkQuery{}, fmt.Errorf("serve: bad ef parameter %q (want a positive integer)", raw)
 		}
-		if mode == ModeExact || (mode == ModeAuto && !annEnabled) {
-			return topkQuery{}, fmt.Errorf("serve: ef applies only to mode=ann")
+	}
+	return resolveTopK(topkQuery{id: id, k: k, mode: mode, ef: ef}, kSet, vertices, annEnabled)
+}
+
+// resolveTopK applies the semantic top-K rules both transports share
+// once their surface forms are parsed: the unset-k default clamped to
+// the graph, mode-string validation, and the ef-requires-ann rule.
+// Keeping them in one resolver is what makes a wire request and its
+// HTTP twin succeed or fail with identical error text.
+func resolveTopK(q topkQuery, kSet bool, vertices int, annEnabled bool) (topkQuery, error) {
+	if !kSet {
+		// The client sent no k: clamp the server-side default to the
+		// graph rather than rejecting it for exceeding |V|-1 (an
+		// explicit out-of-range k is still an error).
+		q.k = 10
+		if q.k > vertices-1 {
+			q.k = vertices - 1
 		}
 	}
-	return topkQuery{id: id, k: k, mode: mode, ef: ef}, nil
+	switch q.mode {
+	case ModeAuto, ModeExact, ModeANN:
+	default:
+		return topkQuery{}, fmt.Errorf("serve: bad mode parameter %q (want exact or ann)", q.mode)
+	}
+	if q.ef != 0 && (q.mode == ModeExact || (q.mode == ModeAuto && !annEnabled)) {
+		return topkQuery{}, fmt.Errorf("serve: ef applies only to mode=ann")
+	}
+	return q, nil
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	release, err := s.gate.admit()
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	defer release()
 	tq, err := parseTopKQuery(r, s.eng.ds.G.NumVertices(), s.eng.opts.ANN)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	res, err := s.eng.TopKWith(tq.id, tq.k, tq.mode, tq.ef)
 	if err != nil {
-		writeErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	writeTopKRes(w, r, res)
 }
 
 type healthBody struct {

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gsgcn/internal/wire"
+)
+
+// transportFixture is one registry with an unsharded default model
+// "a" and a sharded model "s", both loaded — enough surface to reach
+// every route class (legacy, /v1, per-model, shard ops).
+func transportFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	ds := testDataset(t, false)
+	dir := t.TempDir()
+	ckpt := trainAndSave(t, ds, 1, dir)
+	reg := NewRegistry()
+	t.Cleanup(reg.Close)
+	a, err := reg.Add("a", ds, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := reg.AddSharded("s", ds, Options{Workers: 2}, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Load(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(reg)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// fetch issues method url and returns (status, content type, body).
+func fetch(tb testing.TB, method, url string, hdr map[string]string) (int, string, []byte) {
+	tb.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), raw
+}
+
+// TestV1RoutesByteIdenticalToLegacy pins the versioning contract from
+// docs/API.md: for every route class, the /v1 spelling and the legacy
+// alias answer with the same status, content type and body bytes —
+// across the registry, its default-model Server and a sharded Router.
+// Each pair is issued back-to-back so stateful health counters cannot
+// drift between the two spellings.
+func TestV1RoutesByteIdenticalToLegacy(t *testing.T) {
+	ts := transportFixture(t)
+	cases := []struct {
+		method, path string
+	}{
+		{"GET", "/embed?ids=0,1,2"},
+		{"GET", "/predict?ids=0,3"},
+		{"GET", "/topk?id=1&k=3"},
+		{"GET", "/healthz"},
+		{"GET", "/models"},
+		{"GET", "/models/a"},
+		{"GET", "/models/a/embed?ids=0,1"},
+		{"GET", "/models/s/embed?ids=0,1"},
+		{"GET", "/models/s/topk?id=2&k=2"},
+		{"GET", "/models/s/shards"},
+		{"GET", "/shards"},                  // 404: default model unsharded
+		{"GET", "/models/zzz/embed?ids=0"},  // 404: unknown model
+		{"GET", "/embed?ids=abc"},           // 400: bad id
+		{"GET", "/nope"},                    // 404: unknown endpoint
+		{"GET", "/models/a/nope"},           // 404: unknown sub-endpoint
+		{"POST", "/models/s/shards/9/stop"}, // 400: shard index out of range
+		{"POST", "/models/s/shards/0/frob"}, // 404: unknown shard op
+		{"DELETE", "/embed?ids=0"},          // 405
+	}
+	for _, c := range cases {
+		st1, ct1, b1 := fetch(t, c.method, ts.URL+c.path, nil)
+		st2, ct2, b2 := fetch(t, c.method, ts.URL+"/v1"+c.path, nil)
+		if st1 != st2 || ct1 != ct2 || !bytes.Equal(b1, b2) {
+			t.Errorf("%s %s: legacy (%d %s %q) != /v1 (%d %s %q)",
+				c.method, c.path, st1, ct1, b1, st2, ct2, b2)
+		}
+	}
+}
+
+// TestErrorEnvelopeEverywhere sweeps every error-producing layer —
+// Server handlers, Router shard ops, Registry dispatch, and the
+// mux-level catch-all — asserting the one error contract: a JSON body
+// with a non-empty "error" field, served as application/json, with
+// the expected status. No plain-text 404s or bare strings anywhere.
+func TestErrorEnvelopeEverywhere(t *testing.T) {
+	ts := transportFixture(t)
+	cases := []struct {
+		method, path string
+		status       int
+	}{
+		{"GET", "/nope", 404},
+		{"GET", "/v1/nope", 404},
+		{"GET", "/nope/deeply/nested", 404},
+		{"GET", "/models/zzz", 404},
+		{"GET", "/models/zzz/embed?ids=0", 404},
+		{"GET", "/models/a/nope", 404},
+		{"GET", "/shards", 404},
+		{"POST", "/models/s/shards/9/stop", 400},
+		{"POST", "/models/s/shards/0/frob", 404},
+		{"GET", "/embed", 400},
+		{"GET", "/embed?ids=abc", 400},
+		{"GET", "/embed?ids=99999", 400},
+		{"GET", "/topk?id=1&k=0", 400},
+		{"GET", "/topk?id=1&mode=warp", 400},
+		{"GET", "/topk?id=1&mode=exact&ef=8", 400},
+		{"GET", "/models/s/embed?ids=abc", 400},
+		{"DELETE", "/embed?ids=0", 405},
+		{"POST", "/topk?id=1", 405},
+		{"GET", "/reload", 405},
+		{"GET", "/models/s/shards/0/stop", 405},
+	}
+	for _, c := range cases {
+		status, ct, raw := fetch(t, c.method, ts.URL+c.path, nil)
+		if status != c.status {
+			t.Errorf("%s %s: status %d, want %d (body %q)", c.method, c.path, status, c.status, raw)
+		}
+		if !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s %s: Content-Type %q, want application/json", c.method, c.path, ct)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s %s: body %q is not the error envelope", c.method, c.path, raw)
+		}
+	}
+}
+
+// wireAccept asks for the binary encoding by content negotiation.
+var wireAccept = map[string]string{"Accept": wire.ContentType}
+
+// bitsEqual compares float64 matrices by exact IEEE-754 bits — the
+// transport-equivalence currency; == would paper over -0 vs 0.
+func bitsEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestWireNegotiation drives the three query endpoints twice — once
+// as JSON, once negotiated to the binary encoding — and asserts the
+// decoded wire answer is bit-identical to the JSON one, on both an
+// unsharded model and a sharded router behind the registry.
+func TestWireNegotiation(t *testing.T) {
+	ts := transportFixture(t)
+	for _, base := range []string{"", "/models/s"} {
+		st, ct, raw := fetch(t, "GET", ts.URL+base+"/embed?ids=0,1,2", wireAccept)
+		if st != 200 || ct != wire.ContentType {
+			t.Fatalf("%s/embed wire: status %d type %q", base, st, ct)
+		}
+		msg, _, err := wire.Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		we, ok := msg.(*wire.EmbedResponse)
+		if !ok {
+			t.Fatalf("%s/embed wire: got frame %T", base, msg)
+		}
+		var je EmbedResult
+		if _, _, jraw := fetch(t, "GET", ts.URL+base+"/embed?ids=0,1,2", nil); json.Unmarshal(jraw, &je) != nil {
+			t.Fatal("bad JSON embed body")
+		}
+		if we.Version != je.Version || we.Dim != je.Dim || !reflect.DeepEqual(we.IDs, je.IDs) || !bitsEqual(we.Vectors, je.Vectors) {
+			t.Errorf("%s/embed: wire answer differs from JSON", base)
+		}
+
+		st, ct, raw = fetch(t, "GET", ts.URL+base+"/predict?ids=0,3", wireAccept)
+		if st != 200 || ct != wire.ContentType {
+			t.Fatalf("%s/predict wire: status %d type %q", base, st, ct)
+		}
+		msg, _, err = wire.Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, ok := msg.(*wire.PredictResponse)
+		if !ok {
+			t.Fatalf("%s/predict wire: got frame %T", base, msg)
+		}
+		var jp PredictResult
+		if _, _, jraw := fetch(t, "GET", ts.URL+base+"/predict?ids=0,3", nil); json.Unmarshal(jraw, &jp) != nil {
+			t.Fatal("bad JSON predict body")
+		}
+		if wp.Classes != jp.Classes || wp.MultiLabel != jp.MultiLabel ||
+			!reflect.DeepEqual(wp.Labels, jp.Labels) || !bitsEqual(wp.Probs, jp.Probs) {
+			t.Errorf("%s/predict: wire answer differs from JSON", base)
+		}
+
+		st, ct, raw = fetch(t, "GET", ts.URL+base+"/topk?id=1&k=3", wireAccept)
+		if st != 200 || ct != wire.ContentType {
+			t.Fatalf("%s/topk wire: status %d type %q", base, st, ct)
+		}
+		msg, _, err = wire.Decode(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wt, ok := msg.(*wire.TopKResponse)
+		if !ok {
+			t.Fatalf("%s/topk wire: got frame %T", base, msg)
+		}
+		var jt TopKResult
+		if _, _, jraw := fetch(t, "GET", ts.URL+base+"/topk?id=1&k=3", nil); json.Unmarshal(jraw, &jt) != nil {
+			t.Fatal("bad JSON topk body")
+		}
+		ms, _ := wire.ModeString(wt.Mode)
+		if ms != jt.Mode || wt.K != jt.K || len(wt.Neighbors) != len(jt.Neighbors) {
+			t.Fatalf("%s/topk: wire shape differs from JSON", base)
+		}
+		for i, n := range wt.Neighbors {
+			if n.ID != jt.Neighbors[i].ID || math.Float64bits(n.Score) != math.Float64bits(jt.Neighbors[i].Score) {
+				t.Errorf("%s/topk neighbor %d: wire %v != json %v", base, i, n, jt.Neighbors[i])
+			}
+		}
+	}
+
+	// Errors negotiate too: same status, and the frame carries the
+	// exact message and reason the JSON envelope would.
+	st, ct, raw := fetch(t, "GET", ts.URL+"/embed?ids=abc", wireAccept)
+	if st != 400 || ct != wire.ContentType {
+		t.Fatalf("wire error: status %d type %q", st, ct)
+	}
+	msg, _, err := wire.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, ok := msg.(*wire.ErrorResponse)
+	if !ok {
+		t.Fatalf("wire error: got frame %T", msg)
+	}
+	var jb errorBody
+	if _, _, jraw := fetch(t, "GET", ts.URL+"/embed?ids=abc", nil); json.Unmarshal(jraw, &jb) != nil {
+		t.Fatal("bad JSON error body")
+	}
+	if we.Status != 400 || we.Message != jb.Error || we.Reason != jb.Reason {
+		t.Errorf("wire error frame %+v != JSON envelope %+v", we, jb)
+	}
+
+	// Control-plane endpoints do not negotiate: /healthz stays JSON
+	// even when the client asks for the wire encoding.
+	if _, ct, _ := fetch(t, "GET", ts.URL+"/healthz", wireAccept); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/healthz negotiated to %q; control plane must stay JSON", ct)
+	}
+}

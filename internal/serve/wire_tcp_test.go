@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gsgcn/internal/wire"
+)
+
+// wireFixture is the TCP twin of transportFixture: one registry with
+// an unsharded default model "a" and a sharded model "s", serving both
+// the HTTP surface and the persistent wire listener, so answers can be
+// compared across transports on the same snapshots.
+func wireFixture(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	ds := testDataset(t, false)
+	ckpt := trainAndSave(t, ds, 1, t.TempDir())
+	reg := NewRegistry()
+	t.Cleanup(reg.Close)
+	a, err := reg.Add("a", ds, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := reg.AddSharded("s", ds, Options{Workers: 2}, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Load(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(reg)
+	t.Cleanup(ts.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go reg.ServeWire(ln)
+	return ts, ln.Addr().String()
+}
+
+// wireConn dials the listener and returns framed read/write helpers.
+type wireConn struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+func dialWire(t *testing.T, addr string) *wireConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &wireConn{t: t, conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+func (c *wireConn) send(m wire.Message) {
+	c.t.Helper()
+	if err := wire.WriteMessage(c.bw, m); err != nil {
+		c.t.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *wireConn) recv() wire.Message {
+	c.t.Helper()
+	m, err := wire.ReadMessage(c.br)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return m
+}
+
+// TestServeWireAnswersAllRequestTypes drives every request frame type
+// through the TCP listener — against the unsharded default model and
+// the sharded one — and requires the embed answer to be bit-identical
+// to the JSON answer for the same ids.
+func TestServeWireAnswersAllRequestTypes(t *testing.T) {
+	ts, addr := wireFixture(t)
+	c := dialWire(t, addr)
+
+	c.send(&wire.EmbedRequest{IDs: []int{0, 1}})
+	em, ok := c.recv().(*wire.EmbedResponse)
+	if !ok || len(em.Vectors) != 2 || em.Dim <= 0 {
+		t.Fatalf("embed over TCP = %#v", em)
+	}
+	status, _, body := fetch(t, "GET", ts.URL+"/embed?ids=0,1", nil)
+	if status != http.StatusOK {
+		t.Fatalf("JSON embed = %d: %s", status, body)
+	}
+	var jr EmbedResult
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jr.Vectors {
+		for j := range jr.Vectors[i] {
+			if math.Float64bits(jr.Vectors[i][j]) != math.Float64bits(em.Vectors[i][j]) {
+				t.Fatalf("vector [%d][%d] differs across transports: %v vs %v",
+					i, j, jr.Vectors[i][j], em.Vectors[i][j])
+			}
+		}
+	}
+
+	c.send(&wire.PredictRequest{Model: "s", IDs: []int{2}})
+	pr, ok := c.recv().(*wire.PredictResponse)
+	if !ok || len(pr.Labels) != 1 {
+		t.Fatalf("predict over TCP = %#v", pr)
+	}
+
+	// K=0 means "not set": the server must apply its default k exactly
+	// as the HTTP parser does for a missing k parameter.
+	c.send(&wire.TopKRequest{Model: "s", ID: 0, K: 0, Mode: wire.ModeExact})
+	tk, ok := c.recv().(*wire.TopKResponse)
+	if !ok || tk.K <= 0 || len(tk.Neighbors) == 0 {
+		t.Fatalf("topk (default k) over TCP = %#v", tk)
+	}
+	c.send(&wire.TopKRequest{ID: 1, K: 3, Mode: wire.ModeAuto})
+	tk, ok = c.recv().(*wire.TopKResponse)
+	if !ok || tk.K != 3 || len(tk.Neighbors) != 3 {
+		t.Fatalf("topk k=3 over TCP = %#v", tk)
+	}
+}
+
+// TestServeWireErrorFrames pins the error-frame contract: rejections
+// come back as ErrorResponse frames with the HTTP status and message
+// text of the JSON envelope, and — unlike framing errors — they leave
+// the connection usable.
+func TestServeWireErrorFrames(t *testing.T) {
+	_, addr := wireFixture(t)
+	c := dialWire(t, addr)
+	cases := []struct {
+		label   string
+		req     wire.Message
+		status  int
+		message string
+	}{
+		{"unknown model", &wire.EmbedRequest{Model: "nope", IDs: []int{0}},
+			http.StatusNotFound, `serve: unknown model "nope"`},
+		{"no ids", &wire.PredictRequest{IDs: nil},
+			http.StatusBadRequest, "serve: no ids given"},
+		{"bad mode byte", &wire.TopKRequest{ID: 0, K: 3, Mode: 0x7f},
+			http.StatusBadRequest, "serve: bad mode parameter"},
+		{"id out of range", &wire.TopKRequest{ID: 1 << 30, K: 3},
+			http.StatusBadRequest, "out of range"},
+		{"not a request", &wire.ErrorResponse{Status: 200},
+			http.StatusBadRequest, "serve: frame type 0xee is not a request"},
+	}
+	for _, tc := range cases {
+		c.send(tc.req)
+		er, ok := c.recv().(*wire.ErrorResponse)
+		if !ok {
+			t.Fatalf("%s: got %#v, want an error frame", tc.label, er)
+		}
+		if er.Status != tc.status || !strings.Contains(er.Message, tc.message) {
+			t.Errorf("%s = %d %q, want %d containing %q",
+				tc.label, er.Status, er.Message, tc.status, tc.message)
+		}
+	}
+	// The connection survived five rejections: a real query still works.
+	c.send(&wire.EmbedRequest{IDs: []int{0}})
+	if em, ok := c.recv().(*wire.EmbedResponse); !ok || len(em.Vectors) != 1 {
+		t.Fatalf("query after error frames = %#v", em)
+	}
+}
+
+// TestServeWirePipelinedOrder sends a burst of requests without
+// waiting for answers; responses must come back strictly in request
+// order even though they dispatch concurrently into the batcher.
+func TestServeWirePipelinedOrder(t *testing.T) {
+	_, addr := wireFixture(t)
+	c := dialWire(t, addr)
+	const n = 24
+	for i := 0; i < n; i++ {
+		c.send(&wire.EmbedRequest{IDs: []int{i % 8}})
+	}
+	for i := 0; i < n; i++ {
+		em, ok := c.recv().(*wire.EmbedResponse)
+		if !ok {
+			t.Fatalf("response %d: %#v", i, em)
+		}
+		if len(em.IDs) != 1 || em.IDs[0] != i%8 {
+			t.Fatalf("response %d carries ids %v, want [%d] — pipeline out of order", i, em.IDs, i%8)
+		}
+	}
+}
+
+// TestServeWireMalformedFrameClosesConn: once the stream is off by a
+// byte, framing is unrecoverable — the server answers one error frame
+// and hangs up.
+func TestServeWireMalformedFrameClosesConn(t *testing.T) {
+	_, addr := wireFixture(t)
+	c := dialWire(t, addr)
+	if _, err := c.conn.Write([]byte("this is not a GSGW frame......")); err != nil {
+		t.Fatal(err)
+	}
+	er, ok := c.recv().(*wire.ErrorResponse)
+	if !ok || er.Status != http.StatusBadRequest {
+		t.Fatalf("malformed frame answer = %#v", er)
+	}
+	if _, err := wire.ReadMessage(c.br); err == nil {
+		t.Fatal("connection stayed open after a framing error")
+	}
+}
+
+// TestServeWireEmptyRegistry: a frame addressed to the default model
+// of an empty registry fails 503 like the HTTP surface does.
+func TestServeWireEmptyRegistry(t *testing.T) {
+	reg := NewRegistry()
+	t.Cleanup(reg.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go reg.ServeWire(ln)
+	c := dialWire(t, ln.Addr().String())
+	c.send(&wire.EmbedRequest{IDs: []int{0}})
+	er, ok := c.recv().(*wire.ErrorResponse)
+	if !ok || er.Status != http.StatusServiceUnavailable || er.Message != "serve: no models registered" {
+		t.Fatalf("empty registry answer = %#v", er)
+	}
+}

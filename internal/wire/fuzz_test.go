@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzDecode drives the frame decoder with truncated, bit-flipped,
+// resealed-after-mutation and synthetic inputs — the same contract as
+// the artifact/checkpoint loaders: Decode either returns a coherent
+// message or an error, never panics, and never lets a small input
+// demand a huge allocation (header cap plus the bytes-actually-present
+// cross-checks on every declared count).
+func FuzzDecode(f *testing.F) {
+	for _, m := range testMessages() {
+		frame, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2]) // truncated mid-payload
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a wire frame"))
+
+	// Resealed corruption: valid trailer, mutated payload byte.
+	good, _ := Encode(&EmbedResponse{
+		Version: 1, ModelVersion: 1, Dim: 1,
+		IDs: []int{3}, Vectors: [][]float64{{0.5}},
+	})
+	flipped := append([]byte(nil), good[:len(good)-trailerLen]...)
+	flipped[headerLen] ^= 0xFF
+	f.Add(binary.LittleEndian.AppendUint32(flipped, crc32.ChecksumIEEE(flipped)))
+
+	// A resealed header declaring an absurd neighbor count.
+	absurd := []byte(Magic)
+	absurd = append(absurd, Version, byte(TTopKResp))
+	absurd = binary.LittleEndian.AppendUint32(absurd, 38)
+	absurd = append(absurd, make([]byte, 34)...)
+	absurd = binary.LittleEndian.AppendUint32(absurd, 1<<30)
+	f.Add(binary.LittleEndian.AppendUint32(absurd, crc32.ChecksumIEEE(absurd)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := Decode(data)
+		if err != nil {
+			if m != nil {
+				t.Fatalf("error %v returned alongside a message", err)
+			}
+			return
+		}
+		if m == nil {
+			t.Fatal("nil message with nil error")
+		}
+		if n < headerLen+trailerLen || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		// An accepted message must re-encode to the exact accepted
+		// frame: the format has one canonical encoding per message.
+		again, err := Encode(m)
+		if err != nil {
+			t.Fatalf("re-encoding accepted message: %v", err)
+		}
+		if !bytes.Equal(again, data[:n]) {
+			t.Fatalf("re-encode differs:\n got %x\nwant %x", again, data[:n])
+		}
+		// The streaming decoder must agree with the in-memory one.
+		sm, err := ReadMessage(bytes.NewReader(data[:n]))
+		if err != nil {
+			t.Fatalf("ReadMessage rejects what Decode accepted: %v", err)
+		}
+		if se, _ := Encode(sm); !bytes.Equal(se, again) {
+			t.Fatal("ReadMessage and Decode disagree")
+		}
+	})
+}

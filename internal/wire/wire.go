@@ -1,0 +1,644 @@
+// Package wire implements the serving plane's deterministic binary
+// protocol: length-prefixed frames carrying embed/predict/topk
+// requests and responses with little-endian float64 rows, so a client
+// can decode answers that are bit-identical to the JSON API without
+// paying float formatting/parsing on either side.
+//
+// Frame layout (fixed framing, no varints), all integers
+// little-endian:
+//
+//	[0:4]    magic "GSGW"
+//	[4]      u8 protocol version (1)
+//	[5]      u8 frame type
+//	[6:10]   u32 payload length N
+//	[10:10+N] payload
+//	trailer: u32 CRC-32 (IEEE) of every preceding byte
+//
+// Payload encodings are fixed-layout per frame type: strings are
+// u16-length-prefixed UTF-8, vertex ids are u64, floats are
+// math.Float64bits. Decoding validates the magic, version, declared
+// length (capped at MaxPayload) and CRC trailer, and cross-checks
+// every element count against the bytes actually present before
+// allocating, so a truncated, corrupted or hostile frame fails with a
+// clean error — never a panic, short read or unbounded allocation
+// (FuzzDecode, mirroring the artifact/checkpoint loaders).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+const (
+	// Magic opens every frame.
+	Magic = "GSGW"
+	// Version is the protocol version carried in byte 4.
+	Version = 1
+	// MaxPayload caps the payload length a decoder will accept or an
+	// encoder will produce (64 MiB — far above any real response, low
+	// enough that four hostile header bytes cannot demand gigabytes).
+	MaxPayload = 1 << 26
+	// headerLen and trailerLen bracket the payload.
+	headerLen  = 10
+	trailerLen = 4
+
+	// ContentType is the HTTP media type that selects this protocol
+	// via content negotiation (Accept / Content-Type headers).
+	ContentType = "application/x-gsgcn-wire"
+)
+
+// Type identifies what a frame carries.
+type Type byte
+
+// Frame types. Requests have the high bit clear, responses set;
+// TError answers any request that failed.
+const (
+	TEmbedReq    Type = 0x01
+	TPredictReq  Type = 0x02
+	TTopKReq     Type = 0x03
+	TEmbedResp   Type = 0x81
+	TPredictResp Type = 0x82
+	TTopKResp    Type = 0x83
+	TError       Type = 0xEE
+)
+
+// Top-K mode bytes: the wire form of the API's mode strings.
+const (
+	ModeAuto  byte = 0
+	ModeExact byte = 1
+	ModeANN   byte = 2
+)
+
+// ModeByte maps an API mode string ("", "exact", "ann") to its wire
+// byte. Unknown strings report ok=false.
+func ModeByte(s string) (b byte, ok bool) {
+	switch s {
+	case "":
+		return ModeAuto, true
+	case "exact":
+		return ModeExact, true
+	case "ann":
+		return ModeANN, true
+	}
+	return 0, false
+}
+
+// ModeString maps a wire mode byte back to the API string. Unknown
+// bytes report ok=false.
+func ModeString(b byte) (s string, ok bool) {
+	switch b {
+	case ModeAuto:
+		return "", true
+	case ModeExact:
+		return "exact", true
+	case ModeANN:
+		return "ann", true
+	}
+	return "", false
+}
+
+// Message is any frame payload this package can encode and decode.
+type Message interface {
+	// FrameType reports the type byte the message travels under.
+	FrameType() Type
+	appendPayload(buf []byte) []byte
+}
+
+// EmbedRequest asks for embedding rows. An empty Model addresses the
+// default model.
+type EmbedRequest struct {
+	Model string
+	IDs   []int
+}
+
+// PredictRequest asks for label predictions. An empty Model addresses
+// the default model.
+type PredictRequest struct {
+	Model string
+	IDs   []int
+}
+
+// TopKRequest asks for the k nearest neighbors of one vertex. K == 0
+// and Ef == 0 mean "unset" and take the API's defaults, exactly like
+// omitting the query parameters on the HTTP surface.
+type TopKRequest struct {
+	Model string
+	ID    int
+	K     int
+	Mode  byte
+	Ef    int
+}
+
+// EmbedResponse mirrors the JSON embed result: Vectors[i] is the
+// embedding row for IDs[i], Dim floats wide.
+type EmbedResponse struct {
+	Version      uint64
+	ModelVersion uint64
+	Dim          int
+	IDs          []int
+	Vectors      [][]float64
+}
+
+// PredictResponse mirrors the JSON predict result.
+type PredictResponse struct {
+	Version      uint64
+	ModelVersion uint64
+	Classes      int
+	MultiLabel   bool
+	IDs          []int
+	Labels       [][]int
+	Probs        [][]float64
+}
+
+// Neighbor is one scored top-K hit.
+type Neighbor struct {
+	ID    int
+	Score float64
+}
+
+// TopKResponse mirrors the JSON topk result. Mode is the resolved
+// mode byte (ModeExact or ModeANN); Ef is 0 unless the ANN path ran.
+type TopKResponse struct {
+	Version      uint64
+	ModelVersion uint64
+	ID           int
+	K            int
+	Mode         byte
+	Ef           int
+	Degraded     bool
+	Neighbors    []Neighbor
+}
+
+// ErrorResponse carries a failed request's HTTP-equivalent status and
+// the same error/reason strings the JSON envelope would hold, so both
+// transports fail identically.
+type ErrorResponse struct {
+	Status  int
+	Reason  string
+	Message string
+}
+
+// FrameType implements Message.
+func (*EmbedRequest) FrameType() Type { return TEmbedReq }
+
+// FrameType implements Message.
+func (*PredictRequest) FrameType() Type { return TPredictReq }
+
+// FrameType implements Message.
+func (*TopKRequest) FrameType() Type { return TTopKReq }
+
+// FrameType implements Message.
+func (*EmbedResponse) FrameType() Type { return TEmbedResp }
+
+// FrameType implements Message.
+func (*PredictResponse) FrameType() Type { return TPredictResp }
+
+// FrameType implements Message.
+func (*TopKResponse) FrameType() Type { return TTopKResp }
+
+// FrameType implements Message.
+func (*ErrorResponse) FrameType() Type { return TError }
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendIDs(buf []byte, ids []int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	return buf
+}
+
+func (m *EmbedRequest) appendPayload(buf []byte) []byte {
+	buf = appendStr(buf, m.Model)
+	return appendIDs(buf, m.IDs)
+}
+
+func (m *PredictRequest) appendPayload(buf []byte) []byte {
+	buf = appendStr(buf, m.Model)
+	return appendIDs(buf, m.IDs)
+}
+
+func (m *TopKRequest) appendPayload(buf []byte) []byte {
+	buf = appendStr(buf, m.Model)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.K))
+	buf = append(buf, m.Mode)
+	return binary.LittleEndian.AppendUint32(buf, uint32(m.Ef))
+}
+
+func (m *EmbedResponse) appendPayload(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, m.Version)
+	buf = binary.LittleEndian.AppendUint64(buf, m.ModelVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Dim))
+	buf = appendIDs(buf, m.IDs)
+	for _, row := range m.Vectors {
+		for _, x := range row {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	}
+	return buf
+}
+
+func (m *PredictResponse) appendPayload(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, m.Version)
+	buf = binary.LittleEndian.AppendUint64(buf, m.ModelVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Classes))
+	var multi byte
+	if m.MultiLabel {
+		multi = 1
+	}
+	buf = append(buf, multi)
+	buf = appendIDs(buf, m.IDs)
+	for _, labels := range m.Labels {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(labels)))
+		for _, l := range labels {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(l))
+		}
+	}
+	for _, probs := range m.Probs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(probs)))
+		for _, p := range probs {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p))
+		}
+	}
+	return buf
+}
+
+func (m *TopKResponse) appendPayload(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, m.Version)
+	buf = binary.LittleEndian.AppendUint64(buf, m.ModelVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.K))
+	buf = append(buf, m.Mode)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Ef))
+	var degraded byte
+	if m.Degraded {
+		degraded = 1
+	}
+	buf = append(buf, degraded)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Neighbors)))
+	for _, n := range m.Neighbors {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(n.ID))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.Score))
+	}
+	return buf
+}
+
+func (m *ErrorResponse) appendPayload(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Status))
+	buf = appendStr(buf, m.Reason)
+	return appendStr(buf, m.Message)
+}
+
+// Encode serializes a message as one complete frame. Deterministic:
+// equal messages encode to equal bytes. It fails if a string exceeds
+// the u16 length field or the payload exceeds MaxPayload.
+func Encode(m Message) ([]byte, error) {
+	if err := checkEncodable(m); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, headerLen+64)
+	buf = append(buf, Magic...)
+	buf = append(buf, Version, byte(m.FrameType()))
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // payload length, patched below
+	buf = m.appendPayload(buf)
+	n := len(buf) - headerLen
+	if n > MaxPayload {
+		return nil, fmt.Errorf("wire: payload is %d bytes, cap %d", n, MaxPayload)
+	}
+	binary.LittleEndian.PutUint32(buf[6:10], uint32(n))
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf)), nil
+}
+
+// checkEncodable rejects messages whose variable-length fields do not
+// fit their wire length prefixes, before any bytes are produced.
+func checkEncodable(m Message) error {
+	str := func(s string) error {
+		if len(s) > math.MaxUint16 {
+			return fmt.Errorf("wire: string field is %d bytes, cap %d", len(s), math.MaxUint16)
+		}
+		return nil
+	}
+	switch m := m.(type) {
+	case *EmbedRequest:
+		return str(m.Model)
+	case *PredictRequest:
+		return str(m.Model)
+	case *TopKRequest:
+		return str(m.Model)
+	case *ErrorResponse:
+		if err := str(m.Reason); err != nil {
+			return err
+		}
+		return str(m.Message)
+	}
+	return nil
+}
+
+// reader is a bounds-checked cursor over a frame payload. The first
+// out-of-bounds read latches err; every later read returns zero
+// values, so parse code can run straight-line and check once.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated payload (%d bytes)", len(r.b))
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() int {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return int(v)
+}
+
+func (r *reader) u32() int {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return int(v)
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) str() string {
+	n := r.u16()
+	if r.err != nil || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// remaining reports the unread payload bytes: the allocation bound
+// every declared count is cross-checked against.
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+// count reads a u32 element count and verifies the payload actually
+// carries count elements of elemSize bytes before the caller
+// allocates for them.
+func (r *reader) count(elemSize int) int {
+	n := r.u32()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n)*int64(elemSize) > int64(r.remaining()) {
+		r.err = fmt.Errorf("wire: count %d needs %d bytes, %d remain", n, int64(n)*int64(elemSize), r.remaining())
+		return 0
+	}
+	return n
+}
+
+func (r *reader) ids() []int {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = int(r.u64())
+	}
+	return ids
+}
+
+// done fails the parse if an error latched or payload bytes remain
+// unconsumed (a trailing-garbage frame is corrupt, not extensible).
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %d trailing payload bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+func parsePayload(t Type, payload []byte) (Message, error) {
+	r := &reader{b: payload}
+	var m Message
+	switch t {
+	case TEmbedReq:
+		m = &EmbedRequest{Model: r.str(), IDs: r.ids()}
+	case TPredictReq:
+		m = &PredictRequest{Model: r.str(), IDs: r.ids()}
+	case TTopKReq:
+		m = &TopKRequest{
+			Model: r.str(),
+			ID:    int(r.u64()),
+			K:     r.u32(),
+			Mode:  r.u8(),
+			Ef:    r.u32(),
+		}
+	case TEmbedResp:
+		resp := &EmbedResponse{
+			Version:      r.u64(),
+			ModelVersion: r.u64(),
+			Dim:          r.u32(),
+			IDs:          r.ids(),
+		}
+		if r.err == nil {
+			n := len(resp.IDs)
+			if resp.Dim < 0 || int64(n)*int64(resp.Dim)*8 > int64(r.remaining()) {
+				r.err = fmt.Errorf("wire: %dx%d vector block exceeds the %d remaining bytes", n, resp.Dim, r.remaining())
+			} else {
+				resp.Vectors = make([][]float64, n)
+				for i := range resp.Vectors {
+					row := make([]float64, resp.Dim)
+					for j := range row {
+						row[j] = r.f64()
+					}
+					resp.Vectors[i] = row
+				}
+			}
+		}
+		m = resp
+	case TPredictResp:
+		resp := &PredictResponse{
+			Version:      r.u64(),
+			ModelVersion: r.u64(),
+			Classes:      r.u32(),
+			MultiLabel:   r.u8() != 0,
+			IDs:          r.ids(),
+		}
+		if r.err == nil {
+			n := len(resp.IDs)
+			resp.Labels = make([][]int, n)
+			for i := range resp.Labels {
+				cnt := r.count(4)
+				if r.err != nil {
+					break
+				}
+				labels := make([]int, cnt)
+				for j := range labels {
+					labels[j] = int(int32(r.u32()))
+				}
+				resp.Labels[i] = labels
+			}
+			if r.err == nil {
+				resp.Probs = make([][]float64, n)
+				for i := range resp.Probs {
+					cnt := r.count(8)
+					if r.err != nil {
+						break
+					}
+					probs := make([]float64, cnt)
+					for j := range probs {
+						probs[j] = r.f64()
+					}
+					resp.Probs[i] = probs
+				}
+			}
+		}
+		m = resp
+	case TTopKResp:
+		resp := &TopKResponse{
+			Version:      r.u64(),
+			ModelVersion: r.u64(),
+			ID:           int(r.u64()),
+			K:            r.u32(),
+			Mode:         r.u8(),
+			Ef:           r.u32(),
+			Degraded:     r.u8() != 0,
+		}
+		cnt := r.count(16)
+		if r.err == nil {
+			resp.Neighbors = make([]Neighbor, cnt)
+			for i := range resp.Neighbors {
+				resp.Neighbors[i] = Neighbor{ID: int(r.u64()), Score: r.f64()}
+			}
+		}
+		m = resp
+	case TError:
+		m = &ErrorResponse{Status: r.u32(), Reason: r.str(), Message: r.str()}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type 0x%02x", byte(t))
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// checkHeader validates a complete 10-byte frame header and returns
+// the declared payload length.
+func checkHeader(hdr []byte) (int, error) {
+	if string(hdr[:4]) != Magic {
+		return 0, fmt.Errorf("wire: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != Version {
+		return 0, fmt.Errorf("wire: protocol version %d, want %d", hdr[4], Version)
+	}
+	n := binary.LittleEndian.Uint32(hdr[6:10])
+	if n > MaxPayload {
+		return 0, fmt.Errorf("wire: payload declares %d bytes, cap %d", n, MaxPayload)
+	}
+	return int(n), nil
+}
+
+// Decode parses one complete frame from the front of data and returns
+// the message plus the frame's total size in bytes. Extra bytes after
+// the frame are left for the caller (pipelined streams).
+func Decode(data []byte) (Message, int, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, 0, fmt.Errorf("wire: %d bytes is too short for a frame", len(data))
+	}
+	n, err := checkHeader(data[:headerLen])
+	if err != nil {
+		return nil, 0, err
+	}
+	total := headerLen + n + trailerLen
+	if len(data) < total {
+		return nil, 0, fmt.Errorf("wire: frame declares %d bytes, %d available", total, len(data))
+	}
+	body := data[:headerLen+n]
+	stored := binary.LittleEndian.Uint32(data[headerLen+n : total])
+	if got := crc32.ChecksumIEEE(body); got != stored {
+		return nil, 0, fmt.Errorf("wire: checksum mismatch (stored %08x, computed %08x) — frame corrupt", stored, got)
+	}
+	m, err := parsePayload(Type(data[5]), data[headerLen:headerLen+n])
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, total, nil
+}
+
+// ReadMessage reads exactly one frame from r. The payload buffer it
+// allocates is bounded by the validated header, never by a hostile
+// length alone (MaxPayload cap). io.EOF before any byte means a clean
+// end of stream; a partial frame surfaces as io.ErrUnexpectedEOF.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n, err := checkHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	rest := make([]byte, n+trailerLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: reading %d-byte payload: %w", n, err)
+	}
+	body := append(hdr[:], rest[:n]...)
+	stored := binary.LittleEndian.Uint32(rest[n:])
+	if got := crc32.ChecksumIEEE(body); got != stored {
+		return nil, fmt.Errorf("wire: checksum mismatch (stored %08x, computed %08x) — frame corrupt", stored, got)
+	}
+	return parsePayload(Type(hdr[5]), body[headerLen:])
+}
+
+// WriteMessage encodes m and writes the complete frame to w.
+func WriteMessage(w io.Writer, m Message) error {
+	frame, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}

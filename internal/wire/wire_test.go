@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testMessages is one of every frame type with representative values,
+// including negative-zero/NaN-free float edge bits, empty and
+// non-empty variable sections.
+func testMessages() []Message {
+	return []Message{
+		&EmbedRequest{IDs: []int{0, 1, 7}},
+		&EmbedRequest{Model: "canary", IDs: []int{42}},
+		&PredictRequest{Model: "prod", IDs: []int{3, 1, 4, 1, 5}},
+		&TopKRequest{ID: 9, K: 10, Mode: ModeANN, Ef: 64},
+		&TopKRequest{Model: "m", ID: 0}, // K/Ef unset, auto mode
+		&EmbedResponse{
+			Version: 3, ModelVersion: 120, Dim: 2,
+			IDs:     []int{5, 6},
+			Vectors: [][]float64{{1.5, -0.25}, {math.Copysign(0, -1), 1e-300}},
+		},
+		&EmbedResponse{Version: 1, ModelVersion: 1, Dim: 0, IDs: []int{}, Vectors: [][]float64{}},
+		&PredictResponse{
+			Version: 2, ModelVersion: 40, Classes: 3, MultiLabel: true,
+			IDs:    []int{8, 9},
+			Labels: [][]int{{0, 2}, {}},
+			Probs:  [][]float64{{0.25, 0.5, 0.25}, {0.125, 0.125, 0.75}},
+		},
+		&TopKResponse{
+			Version: 7, ModelVersion: 200, ID: 4, K: 2, Mode: ModeExact,
+			Degraded:  true,
+			Neighbors: []Neighbor{{ID: 1, Score: 0.875}, {ID: 2, Score: -0.5}},
+		},
+		&TopKResponse{Version: 1, ModelVersion: 1, ID: 0, K: 1, Mode: ModeANN, Ef: 32, Neighbors: []Neighbor{}},
+		&ErrorResponse{Status: 429, Reason: "shed", Message: "serve: overloaded, request shed"},
+		&ErrorResponse{Status: 400, Message: "serve: no ids given"},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, m := range testMessages() {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%#v): %v", m, err)
+		}
+		got, n, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("Decode(%#v frame): %v", m, err)
+		}
+		if n != len(frame) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(frame))
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip:\n got %#v\nwant %#v", got, m)
+		}
+		// Determinism: equal messages encode to equal bytes.
+		again, _ := Encode(got)
+		if !bytes.Equal(frame, again) {
+			t.Fatalf("re-encode differs:\n got %x\nwant %x", again, frame)
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	msgs := testMessages()
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("WriteMessage: %v", err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("ReadMessage #%d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("stream #%d:\n got %#v\nwant %#v", i, got, want)
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestDecodeLeavesTail pins pipelining: Decode consumes exactly one
+// frame and reports its size so the caller can resume at the next.
+func TestDecodeLeavesTail(t *testing.T) {
+	a, _ := Encode(&EmbedRequest{IDs: []int{1}})
+	b, _ := Encode(&TopKRequest{ID: 2, K: 3})
+	stream := append(append([]byte(nil), a...), b...)
+	m1, n1, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != len(a) {
+		t.Fatalf("first frame consumed %d bytes, want %d", n1, len(a))
+	}
+	m2, n2, err := Decode(stream[n1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1+n2 != len(stream) {
+		t.Fatalf("frames consumed %d bytes, want %d", n1+n2, len(stream))
+	}
+	if _, ok := m1.(*EmbedRequest); !ok {
+		t.Fatalf("first message is %T", m1)
+	}
+	if _, ok := m2.(*TopKRequest); !ok {
+		t.Fatalf("second message is %T", m2)
+	}
+}
+
+// reseal recomputes the CRC trailer after a deliberate mutation, so
+// tests exercise the structural checks rather than the checksum.
+func reseal(frame []byte) []byte {
+	body := frame[:len(frame)-trailerLen]
+	return binary.LittleEndian.AppendUint32(append([]byte(nil), body...), crc32.ChecksumIEEE(body))
+}
+
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	good, _ := Encode(&EmbedResponse{
+		Version: 1, ModelVersion: 1, Dim: 2,
+		IDs: []int{1, 2}, Vectors: [][]float64{{1, 2}, {3, 4}},
+	})
+
+	flipBody := append([]byte(nil), good...)
+	flipBody[headerLen+3] ^= 0x40 // payload bit flip → checksum mismatch
+
+	flipTrailer := append([]byte(nil), good...)
+	flipTrailer[len(flipTrailer)-1] ^= 0x01
+
+	badMagic := reseal(append([]byte("NOPE"), good[4:]...))
+
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = 99
+	badVersion = reseal(badVersion)
+
+	badType := append([]byte(nil), good...)
+	badType[5] = 0x7F
+	badType = reseal(badType)
+
+	// Declared payload length larger than the bytes present.
+	overLong := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(overLong[6:10], uint32(len(good)))
+
+	// Declared length over the hard cap.
+	overCap := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(overCap[6:10], MaxPayload+1)
+
+	// A tiny resealed embed-response frame declaring 2^31 ids: the
+	// count cross-check must reject it before allocating anything.
+	absurd := []byte(Magic)
+	absurd = append(absurd, Version, byte(TEmbedResp))
+	absurd = binary.LittleEndian.AppendUint32(absurd, 24)
+	absurd = binary.LittleEndian.AppendUint64(absurd, 1)       // version
+	absurd = binary.LittleEndian.AppendUint64(absurd, 1)       // model version
+	absurd = binary.LittleEndian.AppendUint32(absurd, 4)       // dim
+	absurd = binary.LittleEndian.AppendUint32(absurd, 1<<31-1) // id count
+	absurd = binary.LittleEndian.AppendUint32(absurd, crc32.ChecksumIEEE(absurd))
+
+	// Trailing garbage inside a resealed payload.
+	trailing := append([]byte(nil), good[:len(good)-trailerLen]...)
+	trailing = append(trailing, 0xAB)
+	binary.LittleEndian.PutUint32(trailing[6:10], uint32(len(trailing)-headerLen))
+	trailing = binary.LittleEndian.AppendUint32(trailing, crc32.ChecksumIEEE(trailing))
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "too short"},
+		{"header only", good[:headerLen], "too short"},
+		{"truncated payload", good[:len(good)-8], "available"},
+		{"payload bit flip", flipBody, "checksum mismatch"},
+		{"trailer bit flip", flipTrailer, "checksum mismatch"},
+		{"bad magic", badMagic, "bad magic"},
+		{"bad version", badVersion, "protocol version"},
+		{"unknown type", badType, "unknown frame type"},
+		{"declared length over data", overLong, "available"},
+		{"declared length over cap", overCap, "cap"},
+		{"absurd id count", absurd, "remain"},
+		{"trailing payload bytes", trailing, "trailing"},
+	}
+	for _, tc := range cases {
+		m, _, err := Decode(tc.data)
+		if err == nil {
+			t.Fatalf("%s: Decode accepted %#v", tc.name, m)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err %q does not mention %q", tc.name, err, tc.want)
+		}
+		// The streaming path must reject the same bytes.
+		if _, err := ReadMessage(bytes.NewReader(tc.data)); err == nil {
+			t.Fatalf("%s: ReadMessage accepted the frame", tc.name)
+		}
+	}
+}
+
+func TestReadMessagePartialFrame(t *testing.T) {
+	frame, _ := Encode(&EmbedRequest{IDs: []int{1, 2, 3}})
+	if _, err := ReadMessage(bytes.NewReader(frame[:len(frame)-2])); err == nil {
+		t.Fatal("ReadMessage accepted a partial frame")
+	}
+	// A clean EOF between frames is io.EOF exactly, so connection
+	// loops can distinguish shutdown from corruption.
+	if _, err := ReadMessage(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestEncodeRejectsOversizeStrings(t *testing.T) {
+	m := &ErrorResponse{Status: 400, Message: strings.Repeat("x", math.MaxUint16+1)}
+	if _, err := Encode(m); err == nil {
+		t.Fatal("Encode accepted a string over the u16 length field")
+	}
+}
+
+func TestModeMapping(t *testing.T) {
+	for _, s := range []string{"", "exact", "ann"} {
+		b, ok := ModeByte(s)
+		if !ok {
+			t.Fatalf("ModeByte(%q) not ok", s)
+		}
+		back, ok := ModeString(b)
+		if !ok || back != s {
+			t.Fatalf("mode %q -> %d -> %q", s, b, back)
+		}
+	}
+	if _, ok := ModeByte("fuzzy"); ok {
+		t.Fatal("ModeByte accepted an unknown mode")
+	}
+	if _, ok := ModeString(99); ok {
+		t.Fatal("ModeString accepted an unknown byte")
+	}
+}

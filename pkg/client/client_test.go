@@ -1,0 +1,355 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gsgcn/internal/core"
+	"gsgcn/internal/datasets"
+	"gsgcn/internal/serve"
+)
+
+// fleet is one running server reachable over all three transports.
+type fleet struct {
+	httpURL  string
+	tcpAddr  string
+	vertices int
+}
+
+// startFleet builds a registry with one trained model (sharded when
+// shards > 1), serving HTTP via httptest and the framed transport on
+// a loopback listener.
+func startFleet(tb testing.TB, workers, shards int) *fleet {
+	tb.Helper()
+	ds := datasets.Generate(datasets.Config{
+		Name: "client-test", Vertices: 120, TargetEdges: 900,
+		FeatureDim: 10, NumClasses: 4,
+		Homophily: 0.8, NoiseStd: 0.5, Seed: 11,
+	})
+	m := core.NewModel(ds, core.Config{
+		Layers: 2, Hidden: 8, Workers: 1, Seed: 7,
+		FrontierM: 30, Budget: 120, PInter: 1,
+	})
+	tr := core.NewTrainer(ds, m)
+	for i := 0; i < 3; i++ {
+		tr.Step()
+	}
+	m.ModelVersion = 3
+	ckpt := filepath.Join(tb.TempDir(), "m.ckpt")
+	if err := m.SaveFile(ckpt); err != nil {
+		tb.Fatal(err)
+	}
+
+	reg := serve.NewRegistry()
+	tb.Cleanup(reg.Close)
+	opts := serve.Options{Workers: workers, ANN: true, ANNEf: 16}
+	var ms serve.ModelServer
+	var err error
+	if shards > 1 {
+		ms, err = reg.AddSharded("m", ds, opts, shards, 42)
+	} else {
+		ms, err = reg.Add("m", ds, opts)
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := ms.Load(ckpt); err != nil {
+		tb.Fatal(err)
+	}
+
+	ts := httptest.NewServer(reg)
+	tb.Cleanup(ts.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { ln.Close() })
+	go reg.ServeWire(ln)
+	return &fleet{httpURL: ts.URL, tcpAddr: ln.Addr().String(), vertices: ds.G.NumVertices()}
+}
+
+// clients builds one client per transport against f, all targeting
+// the model by name so every dispatch layer is exercised.
+func clients(tb testing.TB, f *fleet) map[string]Client {
+	tb.Helper()
+	out := make(map[string]Client, 3)
+	for _, tr := range []string{"json", "wire", "tcp"} {
+		addr := f.httpURL
+		if tr == "tcp" {
+			addr = f.tcpAddr
+		}
+		c, err := New(Config{Transport: tr, Addr: addr, Model: "m"})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { c.Close() })
+		out[tr] = c
+	}
+	return out
+}
+
+// outcome flattens a (result, error) pair for cross-transport
+// comparison: an *APIError compares by value, any other error is a
+// test failure upstream.
+func outcome(tb testing.TB, res any, err error) any {
+	tb.Helper()
+	if err == nil {
+		return res
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		tb.Fatalf("non-API error: %v", err)
+	}
+	return *ae
+}
+
+// bitsOf canonicalizes a result for exact comparison: identical
+// structure plus identical float64 bits (DeepEqual alone would let
+// -0 == 0 slip through on the float fields).
+func bitsOf(rows [][]float64) [][]uint64 {
+	out := make([][]uint64, len(rows))
+	for i, r := range rows {
+		out[i] = make([]uint64, len(r))
+		for j, v := range r {
+			out[i][j] = math.Float64bits(v)
+		}
+	}
+	return out
+}
+
+func compareOutcomes(t *testing.T, label string, got map[string]any) {
+	t.Helper()
+	ref := got["json"]
+	for _, tr := range []string{"wire", "tcp"} {
+		if !reflect.DeepEqual(ref, got[tr]) {
+			t.Errorf("%s: %s outcome differs from json:\n json: %#v\n %s: %#v", label, tr, ref, tr, got[tr])
+		}
+	}
+	// DeepEqual passed; additionally pin the float bits.
+	switch r := ref.(type) {
+	case *serve.EmbedResult:
+		for _, tr := range []string{"wire", "tcp"} {
+			if o := got[tr].(*serve.EmbedResult); !reflect.DeepEqual(bitsOf(r.Vectors), bitsOf(o.Vectors)) {
+				t.Errorf("%s: %s embedding bits differ from json", label, tr)
+			}
+		}
+	case *serve.PredictResult:
+		for _, tr := range []string{"wire", "tcp"} {
+			if o := got[tr].(*serve.PredictResult); !reflect.DeepEqual(bitsOf(r.Probs), bitsOf(o.Probs)) {
+				t.Errorf("%s: %s probability bits differ from json", label, tr)
+			}
+		}
+	}
+}
+
+// TestTransportsBitIdentical is the SDK's core contract (referenced
+// from docs/API.md): for the same query, the three transports return
+// identical results — float64s bit for bit — and identical *APIError
+// rejections, at every workers and shard setting.
+func TestTransportsBitIdentical(t *testing.T) {
+	for _, cfg := range []struct{ workers, shards int }{{1, 1}, {3, 1}, {2, 2}} {
+		t.Run(fmt.Sprintf("workers=%d,shards=%d", cfg.workers, cfg.shards), func(t *testing.T) {
+			f := startFleet(t, cfg.workers, cfg.shards)
+			cs := clients(t, f)
+			ctx := context.Background()
+
+			queries := []struct {
+				label string
+				run   func(Client) (any, error)
+			}{
+				{"embed", func(c Client) (any, error) { return c.Embed(ctx, []int{0, 1, 2, 7}) }},
+				{"embed-single", func(c Client) (any, error) { return c.Embed(ctx, []int{42}) }},
+				{"embed-oob", func(c Client) (any, error) { return c.Embed(ctx, []int{0, 9999}) }},
+				{"predict", func(c Client) (any, error) { return c.Predict(ctx, []int{3, 5}) }},
+				{"topk-default", func(c Client) (any, error) { return c.TopK(ctx, TopKQuery{ID: 7}) }},
+				{"topk-exact", func(c Client) (any, error) { return c.TopK(ctx, TopKQuery{ID: 7, K: 5, Mode: "exact"}) }},
+				{"topk-ann", func(c Client) (any, error) { return c.TopK(ctx, TopKQuery{ID: 7, K: 5, Mode: "ann", Ef: 32}) }},
+				{"topk-bad-ef", func(c Client) (any, error) { return c.TopK(ctx, TopKQuery{ID: 7, Mode: "exact", Ef: 8}) }},
+				{"topk-bad-id", func(c Client) (any, error) { return c.TopK(ctx, TopKQuery{ID: 100000}) }},
+				{"topk-big-k", func(c Client) (any, error) { return c.TopK(ctx, TopKQuery{ID: 1, K: 100000}) }},
+			}
+			for _, q := range queries {
+				got := make(map[string]any, 3)
+				for tr, c := range cs {
+					res, err := q.run(c)
+					got[tr] = outcome(t, res, err)
+				}
+				compareOutcomes(t, q.label, got)
+			}
+		})
+	}
+}
+
+// TestTransportEquivalenceRandomized drives the three transports with
+// a seeded stream of random queries — ids, k, ef and mode drawn to
+// straddle the valid/invalid boundary — and requires identical
+// outcomes on every draw: identical float64 bits on answers,
+// identical status/reason/message on rejections.
+func TestTransportEquivalenceRandomized(t *testing.T) {
+	f := startFleet(t, 2, 2)
+	cs := clients(t, f)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(99))
+	modes := []string{"", "", "exact", "ann"}
+
+	for i := 0; i < 150; i++ {
+		var run func(Client) (any, error)
+		label := ""
+		switch rng.Intn(3) {
+		case 0:
+			n := 1 + rng.Intn(4)
+			ids := make([]int, n)
+			for j := range ids {
+				// Mostly valid, occasionally out of range.
+				ids[j] = rng.Intn(f.vertices + f.vertices/10)
+			}
+			label = fmt.Sprintf("embed%v", ids)
+			run = func(c Client) (any, error) { return c.Embed(ctx, ids) }
+		case 1:
+			id := rng.Intn(f.vertices + 5)
+			label = fmt.Sprintf("predict[%d]", id)
+			run = func(c Client) (any, error) { return c.Predict(ctx, []int{id}) }
+		default:
+			q := TopKQuery{
+				ID:   rng.Intn(f.vertices + 5),
+				K:    rng.Intn(f.vertices + 10),
+				Mode: modes[rng.Intn(len(modes))],
+			}
+			if rng.Intn(3) == 0 {
+				q.Ef = 1 + rng.Intn(40) // sometimes invalid (non-ANN mode)
+			}
+			label = fmt.Sprintf("topk%+v", q)
+			run = func(c Client) (any, error) { return c.TopK(ctx, q) }
+		}
+		got := make(map[string]any, 3)
+		for tr, c := range cs {
+			res, err := run(c)
+			got[tr] = outcome(t, res, err)
+		}
+		compareOutcomes(t, label, got)
+	}
+}
+
+// TestTCPPipelining hammers one persistent connection from many
+// goroutines: the FIFO response matching must hand every caller its
+// own answer (the embedding of its own id, not a neighbor's).
+func TestTCPPipelining(t *testing.T) {
+	f := startFleet(t, 2, 1)
+	c, err := New(Config{Transport: "tcp", Addr: f.tcpAddr, Model: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ref, err := New(Config{Transport: "json", Addr: f.httpURL, Model: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	ctx := context.Background()
+	want := make([][][]float64, f.vertices)
+	for id := 0; id < f.vertices; id++ {
+		r, err := ref.Embed(ctx, []int{id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = r.Vectors
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, f.vertices)
+	for id := 0; id < f.vertices; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r, err := c.Embed(ctx, []int{id})
+			if err != nil {
+				errs <- fmt.Errorf("id %d: %w", id, err)
+				return
+			}
+			if len(r.IDs) != 1 || r.IDs[0] != id || !reflect.DeepEqual(bitsOf(r.Vectors), bitsOf(want[id])) {
+				errs <- fmt.Errorf("id %d: got someone else's answer", id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestTCPSurvivesReload pins the persistent connection across a hot
+// reload: in-flight and subsequent queries keep answering, and the
+// snapshot version advances without a reconnect.
+func TestTCPSurvivesReload(t *testing.T) {
+	f := startFleet(t, 2, 1)
+	c, err := New(Config{Transport: "tcp", Addr: f.tcpAddr, Model: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ops := NewOps(f.httpURL, "m", nil)
+	ctx := context.Background()
+
+	before, err := c.Embed(ctx, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := ops.Reload(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := c.Embed(ctx, []int{1})
+	if err != nil {
+		t.Fatalf("connection did not survive reloads: %v", err)
+	}
+	if after.Version <= before.Version {
+		t.Errorf("snapshot version did not advance across reload: %d -> %d", before.Version, after.Version)
+	}
+	if !reflect.DeepEqual(bitsOf(before.Vectors), bitsOf(after.Vectors)) {
+		t.Errorf("same checkpoint reloaded; embedding bits changed")
+	}
+}
+
+// TestOpsControlPlane covers the SDK's operational surface end to
+// end on a sharded model.
+func TestOpsControlPlane(t *testing.T) {
+	f := startFleet(t, 1, 2)
+	ops := NewOps(f.httpURL, "m", nil)
+	ctx := context.Background()
+
+	h, err := ops.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Vertices != f.vertices {
+		t.Fatalf("health = %+v", h)
+	}
+	if err := ops.StopShard(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if h, err = ops.Health(ctx); err != nil || h.Status != "degraded" {
+		t.Fatalf("after stop: health %+v err %v", h, err)
+	}
+	if err := ops.StartShard(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if h, err = ops.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("after start: health %+v err %v", h, err)
+	}
+	// Errors surface as APIError with the server's exact message.
+	var ae *APIError
+	if err := ops.StopShard(ctx, 99); !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("bad shard stop: %v", err)
+	}
+}

@@ -1,0 +1,207 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"gsgcn/internal/serve"
+	"gsgcn/internal/wire"
+)
+
+// httpClient speaks the HTTP surface — JSON bodies by default, the
+// negotiated binary encoding when wantWire is set. Stateless beyond
+// the underlying http.Client, so it is trivially concurrency-safe.
+type httpClient struct {
+	base     string // URL prefix up to and including the model scope
+	model    string
+	hc       *http.Client
+	wantWire bool
+}
+
+func newHTTPClient(cfg Config, wantWire bool) *httpClient {
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: cfg.Timeout}
+	}
+	base := strings.TrimSuffix(cfg.Addr, "/") + "/v1"
+	if cfg.Model != "" {
+		base += "/models/" + cfg.Model
+	}
+	return &httpClient{base: base, model: cfg.Model, hc: hc, wantWire: wantWire}
+}
+
+// idsParam renders ids as the ?ids= query value.
+func idsParam(ids []int) string {
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}
+
+// topkPath renders q as the /topk query string, omitting unset
+// parameters so the server applies its own defaults.
+func topkPath(q TopKQuery) string {
+	path := "/topk?id=" + strconv.Itoa(q.ID)
+	if q.K != 0 {
+		path += "&k=" + strconv.Itoa(q.K)
+	}
+	if q.Mode != "" {
+		path += "&mode=" + q.Mode
+	}
+	if q.Ef != 0 {
+		path += "&ef=" + strconv.Itoa(q.Ef)
+	}
+	return path
+}
+
+// get issues one GET and decodes the answer into out (a pointer to
+// the JSON result struct) or, on the wire transport, returns the
+// decoded frame for the caller to convert. Server rejections come
+// back as *APIError on both encodings.
+func (c *httpClient) get(ctx context.Context, path string, out any) (wire.Message, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.wantWire {
+		req.Header.Set("Accept", wire.ContentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.Get("Content-Type") == wire.ContentType {
+		msg, _, err := wire.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("client: bad wire frame from server: %w", err)
+		}
+		if e, ok := msg.(*wire.ErrorResponse); ok {
+			return nil, &APIError{Status: e.Status, Reason: e.Reason, Message: e.Message}
+		}
+		return msg, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error  string `json:"error"`
+			Reason string `json:"reason"`
+		}
+		if json.Unmarshal(raw, &eb) != nil || eb.Error == "" {
+			return nil, fmt.Errorf("client: HTTP %d: %s", resp.StatusCode, raw)
+		}
+		return nil, &APIError{Status: resp.StatusCode, Reason: eb.Reason, Message: eb.Error}
+	}
+	return nil, json.Unmarshal(raw, out)
+}
+
+func (c *httpClient) Embed(ctx context.Context, ids []int) (*serve.EmbedResult, error) {
+	var res serve.EmbedResult
+	msg, err := c.get(ctx, "/embed?ids="+idsParam(ids), &res)
+	if err != nil {
+		return nil, err
+	}
+	if msg != nil {
+		return embedResult(msg)
+	}
+	return &res, nil
+}
+
+func (c *httpClient) Predict(ctx context.Context, ids []int) (*serve.PredictResult, error) {
+	var res serve.PredictResult
+	msg, err := c.get(ctx, "/predict?ids="+idsParam(ids), &res)
+	if err != nil {
+		return nil, err
+	}
+	if msg != nil {
+		return predictResult(msg)
+	}
+	return &res, nil
+}
+
+func (c *httpClient) TopK(ctx context.Context, q TopKQuery) (*serve.TopKResult, error) {
+	var res serve.TopKResult
+	msg, err := c.get(ctx, topkPath(q), &res)
+	if err != nil {
+		return nil, err
+	}
+	if msg != nil {
+		return topkResult(msg)
+	}
+	return &res, nil
+}
+
+func (c *httpClient) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// embedResult converts a decoded wire frame into the JSON-equivalent
+// result struct. Conversion is pure field copying — floats stay the
+// same bits they crossed the wire as.
+func embedResult(msg wire.Message) (*serve.EmbedResult, error) {
+	m, ok := msg.(*wire.EmbedResponse)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected frame %T for an embed query", msg)
+	}
+	return &serve.EmbedResult{
+		Version:      m.Version,
+		ModelVersion: m.ModelVersion,
+		Dim:          m.Dim,
+		IDs:          m.IDs,
+		Vectors:      m.Vectors,
+	}, nil
+}
+
+func predictResult(msg wire.Message) (*serve.PredictResult, error) {
+	m, ok := msg.(*wire.PredictResponse)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected frame %T for a predict query", msg)
+	}
+	return &serve.PredictResult{
+		Version:      m.Version,
+		ModelVersion: m.ModelVersion,
+		Classes:      m.Classes,
+		MultiLabel:   m.MultiLabel,
+		IDs:          m.IDs,
+		Labels:       m.Labels,
+		Probs:        m.Probs,
+	}, nil
+}
+
+func topkResult(msg wire.Message) (*serve.TopKResult, error) {
+	m, ok := msg.(*wire.TopKResponse)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected frame %T for a topk query", msg)
+	}
+	mode, ok := wire.ModeString(m.Mode)
+	if !ok {
+		return nil, fmt.Errorf("client: bad mode byte 0x%02x in topk answer", m.Mode)
+	}
+	res := &serve.TopKResult{
+		Version:      m.Version,
+		ModelVersion: m.ModelVersion,
+		ID:           m.ID,
+		K:            m.K,
+		Mode:         mode,
+		Ef:           m.Ef,
+		Degraded:     m.Degraded,
+		Neighbors:    make([]serve.Neighbor, len(m.Neighbors)),
+	}
+	for i, n := range m.Neighbors {
+		res.Neighbors[i] = serve.Neighbor{ID: n.ID, Score: n.Score}
+	}
+	return res, nil
+}

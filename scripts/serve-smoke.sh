@@ -15,6 +15,12 @@
 # it: cold boots gauge warm_start 0, warm boots 1, multi-model rows
 # scope by model label, and a stopped shard flips gsgcn_shard_up and
 # grows the degraded-query counter.
+# The sharded server also opens the binary wire transport
+# (-wire-addr): /v1 aliases must answer byte-identically to the legacy
+# routes, gsgcn-probe must decode identical answers over JSON,
+# negotiated-binary HTTP and framed TCP (one TCP connection surviving
+# a reload storm), and a JSON-vs-wire embed-only loadgen pair records
+# the transport's percentile win in BENCH_serve.json.
 # Binaries are expected in ./bin (built by `make serve-smoke`).
 set -euo pipefail
 
@@ -290,9 +296,22 @@ echo "== serve (sharded: 3 shards, warm from per-shard artifacts)"
 stop_server
 start_server -data "$TMP/g.gsg" -load "$TMP/m.ckpt" -ann \
     -artifact "$TMP/sh.art" -shards 3 -shard-seed 42 \
-    -deadline 2s -shed-queue 256
+    -deadline 2s -shed-queue 256 \
+    -wire-addr 127.0.0.1:0
+
+# The wire listener bound an ephemeral port; the server logs the real
+# address in its wire_listening event.
+WADDR=$(sed -n 's/.*"event":"wire_listening","addr":"\([^"]*\)".*/\1/p' "$TMP/server.log" | head -1)
+if [ -z "$WADDR" ]; then
+    echo "serve-smoke: server log has no wire_listening event:" >&2
+    cat "$TMP/server.log" >&2; exit 1
+fi
+echo "serve-smoke: wire transport on $WADDR"
 
 check "/shards" "shard_seed"
+# The /v1 spelling is the canonical surface; the legacy alias above
+# and the versioned route must both answer.
+check "/v1/healthz" "model_version"
 if ! curl -s "$base/healthz" | grep -q '"shards":3'; then
     echo "serve-smoke: sharded healthz does not report 3 shards:" >&2
     curl -s "$base/healthz" >&2; exit 1
@@ -394,6 +413,28 @@ for q in $exact_queries; do
     fi
 done
 
+echo "== v1 aliases answer byte-identically to the legacy routes"
+for q in $exact_queries; do
+    f="$TMP/unsharded$(printf '%s' "$q" | tr '/?&,=' '_____')"
+    curl -s "$base/v1$q" > "$f.v1"
+    if ! cmp -s "$f" "$f.v1"; then
+        echo "serve-smoke: /v1$q differs from $q:" >&2
+        diff "$f" "$f.v1" >&2 || true
+        exit 1
+    fi
+done
+
+echo "== probe (JSON / negotiated binary / framed TCP must decode identically)"
+# gsgcn-probe issues the same queries over all three transports via
+# pkg/client and requires bit-identical decoded answers, then holds
+# one TCP connection across 5 hot reloads.
+"$BIN/gsgcn-probe" -addr "$base" -wire-addr "$WADDR" \
+    -ids 0,1,2 -topk-id 0 -topk-k 3 -reload-storm 5
+
+echo "== scrape (wire): the TCP frames must be billed to their transport"
+metrics_grep '^gsgcn_requests_total\{model="default",transport="wire"\} [1-9]'
+metrics_grep '^gsgcn_requests_total\{model="default",transport="http"\} [1-9]'
+
 echo "== loadgen (mixed load + reload storm + shard churn)"
 # The sharded server is still up with -deadline 2s -shed-queue 256.
 # Reloads and shard kill/restart cycles run mid-traffic; the only
@@ -415,5 +456,36 @@ COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 $GO run ./scripts/benchmerge -out BENCH_serve.json \
     -commit "${COMMIT}-loadgen" -date "$(date -u +%Y-%m-%d)" < "$TMP/loadgen.json"
 echo "serve-smoke: loadgen entry appended to BENCH_serve.json"
+
+echo "== loadgen (embed-only, JSON vs wire: the transport's percentile win)"
+# The same embed-only load at the same rate, once over JSON HTTP and
+# once over the persistent framed TCP connection — no reloads or
+# churn, so the percentile gap isolates the transport itself.
+"$BIN/gsgcn-loadgen" -addr "$base" -transport json -rate 150 -duration 4s \
+    -mix 1:0:0 -fail-on-errors -bench LoadgenEmbedJSON > "$TMP/loadgen-json.json"
+"$BIN/gsgcn-loadgen" -addr "$base" -wire-addr "$WADDR" -transport tcp \
+    -rate 150 -duration 4s -mix 1:0:0 -fail-on-errors \
+    -bench LoadgenEmbedWire > "$TMP/loadgen-wire.json"
+
+p99_of() { sed -n 's/.*"p99_ns": \([0-9][0-9]*\).*/\1/p' "$1"; }
+jp99=$(p99_of "$TMP/loadgen-json.json")
+wp99=$(p99_of "$TMP/loadgen-wire.json")
+if [ -z "$jp99" ] || [ -z "$wp99" ] || [ "$jp99" -le 0 ] || [ "$wp99" -le 0 ]; then
+    echo "serve-smoke: embed-only loadgen pair lacks p99 samples:" >&2
+    cat "$TMP/loadgen-json.json" "$TMP/loadgen-wire.json" >&2; exit 1
+fi
+echo "serve-smoke: /embed p99 json=${jp99}ns wire=${wp99}ns"
+if [ "$wp99" -ge "$jp99" ]; then
+    # Report, don't gate: on loaded CI hosts a 4s sample is too noisy
+    # to hard-fail, but the trajectory in BENCH_serve.json keeps the
+    # comparison on record for every PR.
+    echo "serve-smoke: WARNING: wire p99 did not beat JSON on this run" >&2
+fi
+
+$GO run ./scripts/benchmerge -out BENCH_serve.json \
+    -commit "${COMMIT}-loadgen-json" -date "$(date -u +%Y-%m-%d)" < "$TMP/loadgen-json.json"
+$GO run ./scripts/benchmerge -out BENCH_serve.json \
+    -commit "${COMMIT}-loadgen-wire" -date "$(date -u +%Y-%m-%d)" < "$TMP/loadgen-wire.json"
+echo "serve-smoke: JSON/wire embed entries appended to BENCH_serve.json"
 
 echo "serve-smoke: OK"
