@@ -11,7 +11,7 @@ GO ?= go
 # drops below this floor. The floor trails the measured total by a
 # small slack (85.7% when set); raise it as coverage rises, never
 # lower it.
-COVER_FLOOR ?= 84.0
+COVER_FLOOR ?= 84.5
 
 # Bench-trajectory regression tolerance: `make bench` fails when a
 # benchmark's ns_per_op exceeds its previous trajectory entry by more

@@ -23,6 +23,12 @@
 // the server keep the warm embeddings but rebuild the index lazily.
 // -ann-ef is not structural: query beam width is always resolved from
 // the server's own flags, so it never affects index adoption.
+//
+// With -dtype f32 or i8pq the artifact also carries that quantized
+// table; the exact float64 table is always present, so exact answers
+// never change. A server started with the same -dtype adopts the
+// persisted payload instead of re-quantizing, and -mmap then serves
+// the float64 rows straight from the mapped file.
 package main
 
 import (
@@ -44,6 +50,7 @@ func main() {
 		out     = flag.String("out", "", "artifact output path (default <load>.art)")
 		workers = flag.Int("workers", 0, "goroutines for the embedding pass and index build (0 = GOMAXPROCS)")
 		block   = flag.Int("block", 0, "vertices per streamed inference block (0 = 256)")
+		dtype   = flag.String("dtype", "f64", "resident representation to quantize into the artifact: f64|f32|i8pq (exact answers always stay f64)")
 		index   = flag.Bool("index", true, "include the HNSW index (false = embeddings only)")
 		annM    = flag.Int("ann-m", 0, "HNSW connectivity, must match the server's -ann-m (0 = 16)")
 		annEf   = flag.Int("ann-ef", 0, "default query beam width stored with the index (0 = 64)")
@@ -55,14 +62,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gsgcn-index: -load is required")
 		os.Exit(2)
 	}
+	dt, err := gsgcn.ParseServingDtype(*dtype)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsgcn-index:", err)
+		os.Exit(2)
+	}
 	if *out == "" {
 		*out = *load + ".art"
 	}
 
-	var (
-		ds  *gsgcn.Dataset
-		err error
-	)
+	var ds *gsgcn.Dataset
 	if *data != "" {
 		ds, err = gsgcn.ReadDataset(*data)
 	} else {
@@ -82,6 +91,7 @@ func main() {
 
 	opts := gsgcn.ServeOptions{
 		Workers: *workers, BlockSize: *block, ANNM: *annM, ANNEf: *annEf,
+		Dtype: dt,
 	}
 	nShards := *shards
 	if nShards < 1 {

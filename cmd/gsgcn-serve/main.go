@@ -33,9 +33,9 @@
 // Multiple models, one per -model flag (first one is the default
 // unless -default says otherwise). The value is name=checkpoint
 // followed by optional comma-separated key=value settings — data,
-// artifact, ann, ann-m, ann-ef, workers, block, batch, shards,
-// shard-seed, deadline, shed-queue, qps — which fall back to the
-// matching global flags when absent:
+// artifact, dtype, mmap, ann, ann-m, ann-ef, workers, block, batch,
+// shards, shard-seed, deadline, shed-queue, qps — which fall back to
+// the matching global flags when absent:
 //
 //	gsgcn-serve -data g.gsg \
 //	    -model prod=prod.ckpt,artifact=prod.ckpt.art,ann=true \
@@ -94,12 +94,19 @@ type modelSpec struct {
 	// For a sharded model it is the artifact base path; shard i warms
 	// from <base>.s<i>of<N> (gsgcn-index -shards output).
 	Artifact string `json:"artifact"`
-	ANN      bool   `json:"ann"`
-	ANNM     int    `json:"ann_m"`
-	ANNEf    int    `json:"ann_ef"`
-	Workers  int    `json:"workers"`
-	Block    int    `json:"block"`
-	Batch    int    `json:"batch"`
+	// Dtype names the resident representation of the embedding table —
+	// f64 (default), f32 or i8pq. Exact answers always read float64
+	// rows; quantized tables only steer the ANN candidate scan.
+	Dtype string `json:"dtype"`
+	// Mmap serves the float64 table straight from the memory-mapped
+	// artifact instead of decoding it onto the heap (requires Artifact).
+	Mmap    bool `json:"mmap"`
+	ANN     bool `json:"ann"`
+	ANNM    int  `json:"ann_m"`
+	ANNEf   int  `json:"ann_ef"`
+	Workers int  `json:"workers"`
+	Block   int  `json:"block"`
+	Batch   int  `json:"batch"`
 	// Shards > 1 serves the model as a sharded fleet behind a
 	// scatter-gather router; ShardSeed keys the deterministic
 	// vertex-shard assignment and must match the artifact build.
@@ -190,6 +197,11 @@ func parseModelFlag(v string, def modelSpec) (modelSpec, error) {
 			spec.Data = val
 		case "artifact":
 			spec.Artifact = val
+		case "dtype":
+			_, err = gsgcn.ParseServingDtype(val)
+			spec.Dtype = val
+		case "mmap":
+			spec.Mmap, err = strconv.ParseBool(val)
 		case "ann":
 			spec.ANN, err = strconv.ParseBool(val)
 		case "ann-m":
@@ -249,6 +261,8 @@ func main() {
 		annM    = flag.Int("ann-m", 0, "HNSW connectivity: links per vertex per layer, 2x on the base layer (0 = 16)")
 		annEf   = flag.Int("ann-ef", 0, "default HNSW query beam width; higher = better recall, slower (0 = 64)")
 		art     = flag.String("artifact", "", "snapshot artifact (gsgcn-index output) to warm-start from; \"auto\" tries <load>.art; mismatch or absence falls back to the full compute")
+		dtype   = flag.String("dtype", "", "resident representation of the embedding table: f64|f32|i8pq (default f64; exact answers always read f64 rows)")
+		useMmap = flag.Bool("mmap", false, "serve the float64 table from the memory-mapped artifact instead of decoding it onto the heap (needs -artifact)")
 		shards  = flag.Int("shards", 0, "serve each model as N vertex shards behind a scatter-gather router (0 or 1 = unsharded)")
 		shSeed  = flag.Uint64("shard-seed", 0, "seed keying the deterministic vertex-shard assignment (must match gsgcn-index -shard-seed)")
 		dline   = flag.Duration("deadline", 0, "per-query deadline covering queue wait and answer; expired queries get 504 (0 = none)")
@@ -257,12 +271,13 @@ func main() {
 		pprofAt = flag.String("pprof-addr", "", "serve net/http/pprof on this extra address (e.g. 127.0.0.1:6060); off when empty, and never on the serving listener")
 		noLog   = flag.Bool("no-access-log", false, "disable the per-request JSON access log (lifecycle events still log)")
 	)
-	flag.Var(&models, "model", "serve an extra model: name=checkpoint[,data=…][,artifact=…][,ann=…][,ann-m=…][,ann-ef=…][,workers=…][,block=…][,batch=…][,shards=…][,shard-seed=…][,deadline=…][,shed-queue=…][,qps=…] (repeatable; first is the default model)")
+	flag.Var(&models, "model", "serve an extra model: name=checkpoint[,data=…][,artifact=…][,dtype=…][,mmap=…][,ann=…][,ann-m=…][,ann-ef=…][,workers=…][,block=…][,batch=…][,shards=…][,shard-seed=…][,deadline=…][,shed-queue=…][,qps=…] (repeatable; first is the default model)")
 	flag.Parse()
 
 	// Global flags double as the per-model defaults.
 	defaults := modelSpec{
-		Artifact: *art, ANN: *annOn, ANNM: *annM, ANNEf: *annEf,
+		Artifact: *art, Dtype: *dtype, Mmap: *useMmap,
+		ANN: *annOn, ANNM: *annM, ANNEf: *annEf,
 		Workers: *workers, Block: *block, Batch: *batch,
 		Shards: *shards, ShardSeed: *shSeed,
 		DeadlineMS: float64(*dline) / float64(time.Millisecond), ShedQueue: *shedQ, QPS: *qps,
@@ -352,13 +367,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		dt, err := gsgcn.ParseServingDtype(spec.Dtype)
+		if err != nil {
+			fatal(fmt.Errorf("model %q: %w", spec.Name, err))
+		}
+		if spec.Mmap && spec.Artifact == "" {
+			fatal(fmt.Errorf("model %q: mmap needs an artifact to map", spec.Name))
+		}
 		opts := gsgcn.ServeOptions{
 			Workers: spec.Workers, BlockSize: spec.Block, MaxBatch: spec.Batch,
 			ANN: spec.ANN, ANNM: spec.ANNM, ANNEf: spec.ANNEf,
-			ArtifactPath: spec.Artifact,
-			Deadline:     time.Duration(spec.DeadlineMS * float64(time.Millisecond)),
-			ShedQueueHW:  spec.ShedQueue,
-			QPSLimit:     spec.QPS,
+			ArtifactPath: spec.Artifact, Dtype: dt, Mmap: spec.Mmap,
+			Deadline:    time.Duration(spec.DeadlineMS * float64(time.Millisecond)),
+			ShedQueueHW: spec.ShedQueue,
+			QPSLimit:    spec.QPS,
 		}
 		var (
 			ms  gsgcn.ModelServer

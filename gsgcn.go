@@ -35,6 +35,7 @@ import (
 	"gsgcn/internal/core"
 	"gsgcn/internal/datasets"
 	"gsgcn/internal/graph"
+	"gsgcn/internal/mat"
 	"gsgcn/internal/obs"
 	"gsgcn/internal/sampler"
 	"gsgcn/internal/serve"
@@ -101,7 +102,27 @@ type (
 	StructuredLogger = obs.Logger
 	// LogField is one key/value pair of a structured log line.
 	LogField = obs.Field
+	// ServingDtype selects the resident representation of the serving
+	// embedding table (ServeOptions.Dtype): exact answers always read
+	// float64 rows regardless of dtype; quantized tables only steer the
+	// ANN candidate scan, whose beam is reranked with exact scores.
+	ServingDtype = mat.Dtype
 )
+
+// The resident representations a serving table can hold.
+const (
+	// ServingDtypeF64 is the full-precision table (the default).
+	ServingDtypeF64 = mat.DtypeF64
+	// ServingDtypeF32 adds a half-size float32 copy for ANN scans.
+	ServingDtypeF32 = mat.DtypeF32
+	// ServingDtypeI8PQ adds an int8 product-quantized codebook —
+	// ~one byte per two table columns — for ANN scans.
+	ServingDtypeI8PQ = mat.DtypeI8PQ
+)
+
+// ParseServingDtype parses a dtype name as the CLIs spell it:
+// "f64", "f32" or "i8pq" ("" = f64).
+func ParseServingDtype(s string) (ServingDtype, error) { return mat.ParseDtype(s) }
 
 // BuildServingArtifact computes the serving tables for (ds, m) offline
 // — exactly the arithmetic a cold server start would run — so they can

@@ -1,0 +1,65 @@
+package ann
+
+import (
+	"testing"
+
+	"gsgcn/internal/mat"
+)
+
+// BenchmarkAnnScanDtype prices one ANN candidate scan per resident
+// representation on a Table-I-shaped table: f64 is the exact flat
+// scan (the no-index baseline the quantized paths substitute), f32 and
+// i8pq run the quantized scan plus the exact rerank of the ef-wide
+// beam — the full work the serving layer does per query at that dtype.
+// Each quantized case reports its recall@10 against the exact scanner
+// so the speedup is never read without its accuracy.
+func BenchmarkAnnScanDtype(b *testing.B) {
+	const (
+		n, dim = 8192, 32
+		k, ef  = 10, 64
+	)
+	emb, norms := randTable(n, dim, 16, 5)
+
+	recallOf := func(qt mat.Quantized) float64 {
+		sum, queries := 0.0, 0
+		for v := 0; v < n; v += n / 50 {
+			q, qn := emb.Row(v), norms[v]
+			exact := ExactTopK(emb, norms, q, qn, k, int32(v))
+			want := make(map[int32]bool, len(exact))
+			for _, c := range exact {
+				want[c.ID] = true
+			}
+			hits := 0
+			beam := ScanQuant(qt, norms, q, qn, ef, int32(v), 4)
+			for _, c := range RerankExact(emb, norms, q, qn, beam, k) {
+				if want[c.ID] {
+					hits++
+				}
+			}
+			sum += float64(hits) / float64(len(exact))
+			queries++
+		}
+		return sum / float64(queries)
+	}
+
+	b.Run("f64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := i % n
+			ExactTopK(emb, norms, emb.Row(v), norms[v], k, int32(v))
+		}
+	})
+	for name, qt := range quantizers(emb) {
+		qt := qt
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := i % n
+				q, qn := emb.Row(v), norms[v]
+				beam := ScanQuant(qt, norms, q, qn, ef, int32(v), 4)
+				RerankExact(emb, norms, q, qn, beam, k)
+			}
+			b.StopTimer()
+			b.ReportMetric(recallOf(qt), "recall@10")
+			b.ReportMetric(float64(qt.ResidentBytes()), "resident_bytes")
+		})
+	}
+}

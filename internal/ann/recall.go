@@ -16,8 +16,8 @@ import (
 // the Before total order — the same arithmetic and the same order as
 // the serving layer's exact skiplist scan, so ANN answers are
 // comparable element-for-element.
-func ExactTopK(emb *mat.Dense, norms []float64, query []float64, qn float64, k int, exclude int32) []Candidate {
-	n := emb.Rows
+func ExactTopK(emb mat.RowSource, norms []float64, query []float64, qn float64, k int, exclude int32) []Candidate {
+	n := emb.NumRows()
 	if k < 1 || n == 0 {
 		return nil
 	}

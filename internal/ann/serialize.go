@@ -89,7 +89,7 @@ func (ix *Index) Checksum() uint64 {
 // validated before use: corrupted or truncated input yields an error,
 // never a panic or an unboundedly large allocation. Trailing bytes
 // after the encoded structure are an error.
-func DecodeIndex(data []byte, emb *mat.Dense, norms []float64) (*Index, error) {
+func DecodeIndex(data []byte, emb mat.RowSource, norms []float64) (*Index, error) {
 	if len(data) < 40 {
 		return nil, fmt.Errorf("ann: index blob truncated (%d bytes)", len(data))
 	}
@@ -110,8 +110,8 @@ func DecodeIndex(data []byte, emb *mat.Dense, norms []float64) (*Index, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(data[32:36]))
 	entry := int32(binary.LittleEndian.Uint32(data[36:40]))
-	if n != emb.Rows {
-		return nil, fmt.Errorf("ann: index covers %d vertices, table has %d", n, emb.Rows)
+	if n != emb.NumRows() {
+		return nil, fmt.Errorf("ann: index covers %d vertices, table has %d", n, emb.NumRows())
 	}
 	if norms != nil && len(norms) != n {
 		return nil, fmt.Errorf("ann: %d norms for %d vertices", len(norms), n)

@@ -9,17 +9,30 @@
 // byte-equal to what the server would have computed, making the warm
 // path a zero-risk shortcut.
 //
-// Binary format (version 1), all integers little-endian:
+// Binary format (version 2), all integers little-endian:
 //
 //	[0:8]    magic "GSGCNART"
 //	[8:12]   u32 format version
 //	[12:16]  u32 header length H
-//	[16:16+H]JSON-encoded Meta
-//	then:    Vertices*Dim float64 (embedding rows, row-major)
-//	         Vertices float64 (L2 norms)
-//	         u32 index blob length L (0 = no index)
-//	         L bytes: ann.EncodeBinary output
+//	[16:16+H]JSON headerV2: {meta, dtype, pq?, sections[]}
+//	pad:     zero bytes to the next 8-byte boundary (the data base)
+//	then:    the sections, each at its declared 8-aligned offset from
+//	         the data base, zero-padded between as needed
 //	trailer: u64 CRC-64/ECMA of every preceding byte
+//
+// Sections by name: "emb.f64" (rows*dim float64, row-major) and
+// "norms.f64" (rows float64) are always present; "emb.f32" (rows*dim
+// float32) rides with dtype f32; "pq.centroids" (packed float64
+// codebook) and "pq.codes" (rows*M uint8) ride with dtype i8pq;
+// "index" (ann.EncodeBinary output) is optional. Every section
+// carries its own CRC-64 in the header, so a memory-mapped reader can
+// validate lazily, section by section, without touching the rest of
+// the file. The 8-byte alignment is what lets the mmap path cast
+// float sections in place instead of copying them.
+//
+// Version 1 artifacts (the PR 4–9 format: Meta header, then the f64
+// tables, a u32-prefixed index blob and the trailer) still decode;
+// Encode always writes version 2.
 //
 // Decode validates the trailer checksum, every declared length against
 // the actual data, and caps all metadata-driven allocations, so a
@@ -42,11 +55,19 @@ import (
 )
 
 const (
-	magic         = "GSGCNART"
-	formatVersion = 1
+	magic = "GSGCNART"
+	// formatVersion is what Encode writes; legacyVersion still decodes.
+	formatVersion = 2
+	legacyVersion = 1
 
 	// maxHeaderLen caps the JSON header a decoder will buffer.
 	maxHeaderLen = 1 << 20
+	// maxSections caps the section table a v2 header may declare (the
+	// format defines six names; headroom for one future addition).
+	maxSections = 8
+	// maxPQIters caps the iteration count a header may claim — pure
+	// metadata, but an insane value marks a corrupt header.
+	maxPQIters = 1 << 20
 	// maxVertices and maxDim cap the table shape a header may declare,
 	// mirroring core's checkpoint caps: far above any real deployment,
 	// low enough that a handful of header bytes cannot demand
@@ -124,7 +145,56 @@ type Snapshot struct {
 	Emb   *mat.Dense
 	Norms []float64
 	Index *ann.Index
+
+	// Dtype is the resident representation this artifact was built
+	// for. The f64 tables above are always present — exact answers
+	// read them regardless of dtype — while F32 or PQ carry the
+	// quantized scan payload matching Dtype (nil otherwise).
+	Dtype mat.Dtype
+	F32   *mat.F32Table
+	PQ    *mat.PQTable
 }
+
+// Section names of the version-2 format.
+const (
+	secEmb     = "emb.f64"
+	secNorms   = "norms.f64"
+	secF32     = "emb.f32"
+	secPQCent  = "pq.centroids"
+	secPQCodes = "pq.codes"
+	secIndex   = "index"
+)
+
+// headerV2 is the JSON header of a version-2 artifact. Field order is
+// fixed by the struct, so encoding stays deterministic.
+type headerV2 struct {
+	Meta     Meta            `json:"meta"`
+	Dtype    string          `json:"dtype"`
+	PQ       *pqHeader       `json:"pq,omitempty"`
+	Sections []sectionHeader `json:"sections"`
+}
+
+// pqHeader records the codebook configuration so a server can decide
+// whether index-time codes match its own training parameters.
+type pqHeader struct {
+	M     int    `json:"m"`
+	K     int    `json:"k"`
+	Iters int    `json:"iters"`
+	Seed  uint64 `json:"seed"`
+}
+
+// sectionHeader locates one section. Off is relative to the data base
+// (the 8-aligned end of the JSON header) and itself 8-aligned; CRC is
+// CRC-64/ECMA over exactly the section's Len bytes.
+type sectionHeader struct {
+	Name string `json:"name"`
+	Off  int64  `json:"off"`
+	Len  int64  `json:"len"`
+	CRC  uint64 `json:"crc"`
+}
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }
 
 // Encode serializes a snapshot. Deterministic: equal snapshots encode
 // to equal bytes (Meta marshals with fixed field order, the tables and
@@ -141,41 +211,103 @@ func Encode(s *Snapshot) ([]byte, error) {
 	if len(s.Norms) != rows {
 		return nil, fmt.Errorf("artifact: %d norms for %d rows", len(s.Norms), rows)
 	}
-	header, err := json.Marshal(s.Meta)
+	// Assemble the section payloads in canonical order, then the
+	// header that locates them.
+	var secs []sectionHeader
+	var blobs [][]byte
+	addSec := func(name string, blob []byte) {
+		off := 0
+		if n := len(secs); n > 0 {
+			off = align8(int(secs[n-1].Off + secs[n-1].Len))
+		}
+		secs = append(secs, sectionHeader{
+			Name: name,
+			Off:  int64(off),
+			Len:  int64(len(blob)),
+			CRC:  crc64.Checksum(blob, crcTable),
+		})
+		blobs = append(blobs, blob)
+	}
+	addSec(secEmb, f64Bytes(s.Emb.Data))
+	addSec(secNorms, f64Bytes(s.Norms))
+	var pq *pqHeader
+	switch s.Dtype {
+	case mat.DtypeF64:
+		if s.F32 != nil || s.PQ != nil {
+			return nil, fmt.Errorf("artifact: dtype f64 with quantized payload")
+		}
+	case mat.DtypeF32:
+		if s.PQ != nil {
+			return nil, fmt.Errorf("artifact: dtype f32 with pq payload")
+		}
+		if s.F32 == nil || s.F32.RowsN != rows || s.F32.ColsN != s.Meta.Dim {
+			return nil, fmt.Errorf("artifact: dtype f32 needs a %dx%d f32 table", rows, s.Meta.Dim)
+		}
+		blob := make([]byte, 0, 4*len(s.F32.Data))
+		for _, x := range s.F32.Data {
+			blob = binary.LittleEndian.AppendUint32(blob, math.Float32bits(x))
+		}
+		addSec(secF32, blob)
+	case mat.DtypeI8PQ:
+		if s.F32 != nil {
+			return nil, fmt.Errorf("artifact: dtype i8pq with f32 payload")
+		}
+		if s.PQ == nil || s.PQ.RowsN != rows || s.PQ.ColsN != s.Meta.Dim {
+			return nil, fmt.Errorf("artifact: dtype i8pq needs a %dx%d pq table", rows, s.Meta.Dim)
+		}
+		if err := s.PQ.Validate(); err != nil {
+			return nil, err
+		}
+		p := s.PQ.Params
+		pq = &pqHeader{M: p.M, K: p.K, Iters: p.Iters, Seed: p.Seed}
+		addSec(secPQCent, f64Bytes(s.PQ.Centroids))
+		addSec(secPQCodes, s.PQ.Codes)
+	default:
+		return nil, fmt.Errorf("artifact: unknown dtype %v", s.Dtype)
+	}
+	if s.Index != nil {
+		if s.Index.Len() != rows {
+			return nil, fmt.Errorf("artifact: index covers %d rows, meta declares %d", s.Index.Len(), rows)
+		}
+		addSec(secIndex, s.Index.EncodeBinary())
+	}
+	header, err := json.Marshal(headerV2{
+		Meta:     s.Meta,
+		Dtype:    s.Dtype.String(),
+		PQ:       pq,
+		Sections: secs,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("artifact: encoding header: %w", err)
 	}
 	if len(header) > maxHeaderLen {
 		return nil, fmt.Errorf("artifact: header is %d bytes, cap %d", len(header), maxHeaderLen)
 	}
-	var idxBlob []byte
-	if s.Index != nil {
-		if s.Index.Len() != rows {
-			return nil, fmt.Errorf("artifact: index covers %d rows, meta declares %d", s.Index.Len(), rows)
-		}
-		idxBlob = s.Index.EncodeBinary()
-		// The on-disk length prefix is u32; silently wrapping it would
-		// seal a checksum-valid but undecodable artifact.
-		if int64(len(idxBlob)) > math.MaxUint32 {
-			return nil, fmt.Errorf("artifact: index blob is %d bytes, exceeds the u32 length field", len(idxBlob))
-		}
-	}
-	size := 16 + len(header) + 8*len(s.Emb.Data) + 8*len(s.Norms) + 4 + len(idxBlob) + 8
+	base := align8(16 + len(header))
+	last := secs[len(secs)-1]
+	size := base + int(last.Off+last.Len) + 8
 	buf := make([]byte, 0, size)
 	buf = append(buf, magic...)
 	buf = binary.LittleEndian.AppendUint32(buf, formatVersion)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(header)))
 	buf = append(buf, header...)
-	for _, x := range s.Emb.Data {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	for i, sec := range secs {
+		for len(buf) < base+int(sec.Off) {
+			buf = append(buf, 0)
+		}
+		buf = append(buf, blobs[i]...)
 	}
-	for _, x := range s.Norms {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
-	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(idxBlob)))
-	buf = append(buf, idxBlob...)
 	buf = binary.LittleEndian.AppendUint64(buf, crc64.Checksum(buf, crcTable))
 	return buf, nil
+}
+
+// f64Bytes serializes a float64 slice little-endian.
+func f64Bytes(xs []float64) []byte {
+	out := make([]byte, 0, 8*len(xs))
+	for _, x := range xs {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
+	}
+	return out
 }
 
 // Checksum returns the artifact's integrity fingerprint: the
@@ -219,9 +351,19 @@ func DecodeVerified(data []byte) (*Snapshot, error) {
 	if string(body[:8]) != magic {
 		return nil, fmt.Errorf("artifact: bad magic %q", body[:8])
 	}
-	if v := binary.LittleEndian.Uint32(body[8:12]); v != formatVersion {
-		return nil, fmt.Errorf("artifact: format version %d, want %d", v, formatVersion)
+	switch v := binary.LittleEndian.Uint32(body[8:12]); v {
+	case legacyVersion:
+		return decodeV1(body)
+	case formatVersion:
+		return decodeV2(body)
+	default:
+		return nil, fmt.Errorf("artifact: format version %d, want %d or %d", v, legacyVersion, formatVersion)
 	}
+}
+
+// decodeV1 parses the legacy single-blob layout (body excludes the
+// trailer, magic and version already checked).
+func decodeV1(body []byte) (*Snapshot, error) {
 	hlen := int(binary.LittleEndian.Uint32(body[12:16]))
 	if hlen > maxHeaderLen || 16+hlen > len(body) {
 		return nil, fmt.Errorf("artifact: header declares %d bytes, %d available", hlen, len(body)-16)
@@ -271,6 +413,186 @@ func DecodeVerified(data []byte) (*Snapshot, error) {
 		snap.Index = idx
 	}
 	return snap, nil
+}
+
+// parsedV2 is a validated v2 header: the metadata plus the located
+// sections, lengths already cross-checked against the declared shape
+// and the bytes actually present. Section CRCs are NOT yet verified —
+// the in-memory decoder checks them all, the mmap loader checks them
+// lazily.
+type parsedV2 struct {
+	meta  Meta
+	dtype mat.Dtype
+	pq    *pqHeader
+	secs  map[string]sectionHeader
+	// base is the absolute offset of the data area within the body.
+	base int
+}
+
+// sec returns the named section's bytes within body.
+func (p *parsedV2) sec(body []byte, name string) []byte {
+	s := p.secs[name]
+	off := p.base + int(s.Off)
+	return body[off : off+int(s.Len)]
+}
+
+// parseV2 validates a v2 header against body (trailer stripped, magic
+// and version already checked): meta caps, dtype coherence, and a
+// section table whose every entry is named, unique, 8-aligned, sized
+// exactly for the declared shape and fully contained in the data
+// area. Nothing is allocated proportional to header claims.
+func parseV2(body []byte) (*parsedV2, error) {
+	hlen := int(binary.LittleEndian.Uint32(body[12:16]))
+	if hlen > maxHeaderLen || 16+hlen > len(body) {
+		return nil, fmt.Errorf("artifact: header declares %d bytes, %d available", hlen, len(body)-16)
+	}
+	var hdr headerV2
+	if err := json.Unmarshal(body[16:16+hlen], &hdr); err != nil {
+		return nil, fmt.Errorf("artifact: decoding header: %w", err)
+	}
+	meta := hdr.Meta
+	if meta.Vertices < 0 || meta.Vertices > maxVertices || meta.Dim < 0 || meta.Dim > maxDim {
+		return nil, fmt.Errorf("artifact: header declares a %dx%d table, caps %d/%d",
+			meta.Vertices, meta.Dim, maxVertices, maxDim)
+	}
+	if err := meta.validateShard(); err != nil {
+		return nil, err
+	}
+	dtype, err := mat.ParseDtype(hdr.Dtype)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	rows := meta.rows()
+	base := align8(16 + hlen)
+	dataLen := int64(len(body) - base)
+	if dataLen < 0 {
+		return nil, fmt.Errorf("artifact: header overruns the blob")
+	}
+	// The lengths each section must have, given the declared shape.
+	want := map[string]int64{
+		secEmb:   8 * int64(rows) * int64(meta.Dim),
+		secNorms: 8 * int64(rows),
+	}
+	switch dtype {
+	case mat.DtypeF32:
+		if hdr.PQ != nil {
+			return nil, fmt.Errorf("artifact: dtype f32 with pq header")
+		}
+		want[secF32] = 4 * int64(rows) * int64(meta.Dim)
+	case mat.DtypeI8PQ:
+		pq := hdr.PQ
+		if pq == nil {
+			return nil, fmt.Errorf("artifact: dtype i8pq without pq header")
+		}
+		if pq.M < 1 || pq.M > meta.Dim || pq.K < 1 || pq.K > 256 || pq.Iters < 0 || pq.Iters > maxPQIters {
+			return nil, fmt.Errorf("artifact: pq header M=%d K=%d iters=%d invalid for dim %d", pq.M, pq.K, pq.Iters, meta.Dim)
+		}
+		want[secPQCent] = 8 * int64(mat.PQCentroidsLen(meta.Dim, pq.M, pq.K))
+		want[secPQCodes] = int64(rows) * int64(pq.M)
+	default:
+		if hdr.PQ != nil {
+			return nil, fmt.Errorf("artifact: dtype f64 with pq header")
+		}
+	}
+	if len(hdr.Sections) > maxSections {
+		return nil, fmt.Errorf("artifact: %d sections, cap %d", len(hdr.Sections), maxSections)
+	}
+	secs := make(map[string]sectionHeader, len(hdr.Sections))
+	var end int64
+	for _, s := range hdr.Sections {
+		if _, dup := secs[s.Name]; dup {
+			return nil, fmt.Errorf("artifact: duplicate section %q", s.Name)
+		}
+		if s.Off < 0 || s.Len < 0 || s.Off%8 != 0 || s.Len > dataLen-s.Off {
+			return nil, fmt.Errorf("artifact: section %q spans [%d,%d) of %d data bytes", s.Name, s.Off, s.Off+s.Len, dataLen)
+		}
+		switch s.Name {
+		case secIndex:
+			// Variable length; DecodeIndex validates the blob itself.
+		default:
+			w, ok := want[s.Name]
+			if !ok {
+				return nil, fmt.Errorf("artifact: unexpected section %q for dtype %s", s.Name, dtype)
+			}
+			if s.Len != w {
+				return nil, fmt.Errorf("artifact: section %q is %d bytes, shape demands %d", s.Name, s.Len, w)
+			}
+		}
+		if s.Off+s.Len > end {
+			end = s.Off + s.Len
+		}
+		secs[s.Name] = s
+	}
+	for name := range want {
+		if _, ok := secs[name]; !ok {
+			return nil, fmt.Errorf("artifact: missing section %q", name)
+		}
+	}
+	if end != dataLen {
+		return nil, fmt.Errorf("artifact: sections end at %d, data area is %d bytes", end, dataLen)
+	}
+	return &parsedV2{meta: meta, dtype: dtype, pq: hdr.PQ, secs: secs, base: base}, nil
+}
+
+// decodeV2 parses the section layout into freshly allocated tables,
+// verifying every section CRC (the trailer may already be verified,
+// but per-section CRCs are the integrity statement of the v2 format —
+// a header claiming a wrong CRC is corrupt even if the file hashes
+// consistently).
+func decodeV2(body []byte) (*Snapshot, error) {
+	p, err := parseV2(body)
+	if err != nil {
+		return nil, err
+	}
+	for name, s := range p.secs {
+		if got := crc64.Checksum(p.sec(body, name), crcTable); got != s.CRC {
+			return nil, fmt.Errorf("artifact: section %q CRC mismatch (stored %016x, computed %016x)", name, s.CRC, got)
+		}
+	}
+	rows := p.meta.rows()
+	emb := mat.New(rows, p.meta.Dim)
+	f64Decode(p.sec(body, secEmb), emb.Data)
+	norms := make([]float64, rows)
+	f64Decode(p.sec(body, secNorms), norms)
+	snap := &Snapshot{Meta: p.meta, Emb: emb, Norms: norms, Dtype: p.dtype}
+	switch p.dtype {
+	case mat.DtypeF32:
+		t := &mat.F32Table{RowsN: rows, ColsN: p.meta.Dim, Data: make([]float32, rows*p.meta.Dim)}
+		raw := p.sec(body, secF32)
+		for i := range t.Data {
+			t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+		snap.F32 = t
+	case mat.DtypeI8PQ:
+		t := &mat.PQTable{
+			RowsN:     rows,
+			ColsN:     p.meta.Dim,
+			Params:    mat.PQParams{M: p.pq.M, K: p.pq.K, Iters: p.pq.Iters, Seed: p.pq.Seed},
+			Centroids: make([]float64, mat.PQCentroidsLen(p.meta.Dim, p.pq.M, p.pq.K)),
+			Codes:     append([]uint8(nil), p.sec(body, secPQCodes)...),
+		}
+		f64Decode(p.sec(body, secPQCent), t.Centroids)
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("artifact: %w", err)
+		}
+		snap.PQ = t
+	}
+	if s, ok := p.secs[secIndex]; ok && s.Len > 0 {
+		idx, err := ann.DecodeIndex(p.sec(body, secIndex), emb, norms)
+		if err != nil {
+			return nil, err
+		}
+		snap.Index = idx
+	}
+	return snap, nil
+}
+
+// f64Decode fills out from little-endian float64 bytes (len(raw) must
+// be 8*len(out), which parseV2 guarantees).
+func f64Decode(raw []byte, out []float64) {
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
 }
 
 // ShardPath derives the conventional per-shard artifact filename from
@@ -346,6 +668,7 @@ type Manifest struct {
 	Checkpoint    string `json:"checkpoint,omitempty"`
 	Checksum      string `json:"checksum"` // CRC-64/ECMA trailer, hex
 	Meta          Meta   `json:"meta"`
+	Dtype         string `json:"dtype,omitempty"`
 	IndexChecksum string `json:"index_checksum,omitempty"`
 	IndexLinks    int    `json:"index_links,omitempty"`
 }
@@ -358,6 +681,7 @@ func WriteManifest(artifactPath, checkpointPath string, s *Snapshot, sum uint64)
 		Checkpoint: checkpointPath,
 		Checksum:   fmt.Sprintf("%016x", sum),
 		Meta:       s.Meta,
+		Dtype:      s.Dtype.String(),
 	}
 	if s.Index != nil {
 		mf.IndexChecksum = fmt.Sprintf("%016x", s.Index.Checksum())

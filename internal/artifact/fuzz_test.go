@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"testing"
+
+	"gsgcn/internal/mat"
 )
 
 // FuzzDecode drives the artifact loader with truncated, bit-flipped,
@@ -37,6 +39,34 @@ func FuzzDecode(f *testing.F) {
 	absurd = append(absurd, hdr...)
 	f.Add(reseal(absurd))
 
+	// The quantized payload sections, valid and damaged: every dtype's
+	// canonical encoding, a truncated codebook (sections no longer tile
+	// the data area), a dim the section lengths no longer match, and a
+	// section whose declared CRC disagrees with its bytes — all under a
+	// valid trailer, so the per-section validation does the rejecting.
+	f32Blob, _ := Encode(quantSnapshot(60, 8, mat.DtypeF32, true))
+	pqBlob, _ := Encode(quantSnapshot(60, 8, mat.DtypeI8PQ, false))
+	f.Add(f32Blob)
+	f.Add(pqBlob)
+	f.Add(reseal(pqBlob[:len(pqBlob)-8-16])) // truncated codebook/codes tail
+	dimSkew := append([]byte(nil), f32Blob[:len(f32Blob)-8]...)
+	dimSkew = bytes.Replace(dimSkew, []byte(`"dim":8`), []byte(`"dim":9`), 1)
+	f.Add(reseal(dimSkew))
+	crcSkew := append([]byte(nil), pqBlob[:len(pqBlob)-8]...)
+	crcSkew[len(crcSkew)-3] ^= 0x08 // inside pq.codes, the last section
+	f.Add(reseal(crcSkew))
+	// A legacy v1 file: must decode and upgrade-re-encode cleanly.
+	v1 := append([]byte(magic), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(v1[8:12], legacyVersion)
+	s1 := testSnapshot(20, 4, false)
+	mhdr, _ := json.Marshal(s1.Meta)
+	v1 = binary.LittleEndian.AppendUint32(v1, uint32(len(mhdr)))
+	v1 = append(v1, mhdr...)
+	v1 = append(v1, f64Bytes(s1.Emb.Data)...)
+	v1 = append(v1, f64Bytes(s1.Norms)...)
+	v1 = binary.LittleEndian.AppendUint32(v1, 0)
+	f.Add(reseal(v1))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		snap, err := Decode(data)
 		if err != nil {
@@ -50,9 +80,29 @@ func FuzzDecode(f *testing.F) {
 		}
 		// A nil-error decode must hand back a self-consistent snapshot
 		// that re-encodes to exactly the accepted bytes.
-		if snap.Emb.Rows != snap.Meta.Vertices || snap.Emb.Cols != snap.Meta.Dim ||
-			len(snap.Norms) != snap.Meta.Vertices {
+		rows := snap.Meta.rows()
+		if snap.Emb.Rows != rows || snap.Emb.Cols != snap.Meta.Dim ||
+			len(snap.Norms) != rows {
 			t.Fatalf("inconsistent snapshot accepted: %+v", snap.Meta)
+		}
+		// Dtype/payload coherence: exactly the payload the dtype names,
+		// shaped for the table.
+		switch snap.Dtype {
+		case mat.DtypeF64:
+			if snap.F32 != nil || snap.PQ != nil {
+				t.Fatal("f64 snapshot carries a quantized payload")
+			}
+		case mat.DtypeF32:
+			if snap.PQ != nil || snap.F32 == nil || snap.F32.RowsN != rows || snap.F32.ColsN != snap.Meta.Dim {
+				t.Fatalf("incoherent f32 payload accepted: %+v", snap.Meta)
+			}
+		case mat.DtypeI8PQ:
+			if snap.F32 != nil || snap.PQ == nil || snap.PQ.Validate() != nil ||
+				snap.PQ.RowsN != rows || snap.PQ.ColsN != snap.Meta.Dim {
+				t.Fatalf("incoherent pq payload accepted: %+v", snap.Meta)
+			}
+		default:
+			t.Fatalf("unknown dtype %v accepted", snap.Dtype)
 		}
 		// Round-trip: an accepted snapshot must re-encode and re-decode
 		// cleanly (byte-for-byte stability over canonical encodings is

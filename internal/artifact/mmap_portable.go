@@ -1,0 +1,19 @@
+//go:build !unix
+
+package artifact
+
+import (
+	"io"
+	"os"
+)
+
+// mapRO on platforms without a wired mmap syscall reads the file into
+// a private buffer: the Mapped API keeps working (lazy section CRCs
+// included), only the page-sharing win is absent.
+func mapRO(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func([]byte) error { return nil }, nil
+}

@@ -1,0 +1,18 @@
+//go:build unix
+
+package artifact
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapRO maps size bytes of f read-only and shared (fleet processes
+// serving the same artifact share its page-cache pages).
+func mapRO(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

@@ -1,0 +1,444 @@
+package mat
+
+import (
+	"fmt"
+
+	"gsgcn/internal/perf"
+)
+
+// This file is the serving memory plane's dtype substrate: the
+// RowSource abstraction that lets the serving and ANN layers read
+// exact float64 rows without caring whether they live on the private
+// heap or inside a memory-mapped artifact, plus the two lossy
+// representations (float32 and int8 product quantization) the ANN
+// hot path can scan instead of the full-precision table. Exactness
+// is preserved by construction: quantized tables only ever generate
+// candidates — every reported score is recomputed from a RowSource's
+// float64 rows, so answers in exact mode are bit-identical across
+// dtypes.
+
+// Dtype names a resident representation of an embedding table.
+type Dtype uint8
+
+const (
+	// DtypeF64 is the full-precision table: exact scans and exact
+	// rerank read it; it is the zero value so untouched Options keep
+	// their pre-dtype behavior.
+	DtypeF64 Dtype = iota
+	// DtypeF32 halves the table for ANN scans; exact answers still
+	// read float64 rows.
+	DtypeF32
+	// DtypeI8PQ is int8 product quantization: ~1 byte per subspace
+	// per row plus a small codebook, scanned via asymmetric distance
+	// tables.
+	DtypeI8PQ
+)
+
+// String returns the wire name used by flags, /healthz and metrics.
+func (d Dtype) String() string {
+	switch d {
+	case DtypeF64:
+		return "f64"
+	case DtypeF32:
+		return "f32"
+	case DtypeI8PQ:
+		return "i8pq"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// ParseDtype parses a wire name ("f64", "f32", "i8pq"); the empty
+// string means f64 so callers can treat an unset flag as the default.
+func ParseDtype(s string) (Dtype, error) {
+	switch s {
+	case "", "f64":
+		return DtypeF64, nil
+	case "f32":
+		return DtypeF32, nil
+	case "i8pq":
+		return DtypeI8PQ, nil
+	}
+	return DtypeF64, fmt.Errorf("mat: unknown dtype %q (want f64, f32 or i8pq)", s)
+}
+
+// RowSource is a read-only row-major float64 table. Dense implements
+// it on the heap; the artifact package implements it over a memory
+// mapping. Row returns a view valid until the source is released;
+// callers must not mutate it.
+type RowSource interface {
+	NumRows() int
+	NumCols() int
+	Row(i int) []float64
+}
+
+// NumRows returns the row count (RowSource).
+func (m *Dense) NumRows() int { return m.Rows }
+
+// NumCols returns the column count (RowSource).
+func (m *Dense) NumCols() int { return m.Cols }
+
+// GatherRowsSrc writes src rows idx[i] into dst row i — GatherRows
+// generalized to any RowSource.
+func GatherRowsSrc(dst *Dense, src RowSource, idx []int) {
+	if dst.Rows != len(idx) || dst.Cols != src.NumCols() {
+		panic("mat: GatherRowsSrc shape mismatch")
+	}
+	for i, r := range idx {
+		copy(dst.Row(i), src.Row(r))
+	}
+}
+
+// Quantized is a lossy, compact row representation that can score
+// rows against a query by approximate inner product. Implementations
+// are immutable after construction, so any number of queries may be
+// prepared and scored concurrently.
+type Quantized interface {
+	Dtype() Dtype
+	NumRows() int
+	NumCols() int
+	// ResidentBytes is the size of the working set an ANN scan
+	// touches (codes plus codebooks) — the number the serving layer
+	// exports as its memory-plane gauge.
+	ResidentBytes() int64
+	// Query prepares per-query state (a converted vector or an
+	// asymmetric distance table) amortized across all row scores.
+	Query(q []float64) QuantQuery
+}
+
+// QuantQuery is prepared per-query scoring state. Scores writes the
+// approximate dot(query, row r) for r in [lo, hi) into out[0:hi-lo].
+// It is safe to call concurrently from row-sharded scans.
+type QuantQuery interface {
+	Scores(lo, hi int, out []float64)
+}
+
+// F32Table is an embedding table rounded to float32: half the bytes
+// of the source, scanned with float32 arithmetic.
+type F32Table struct {
+	RowsN, ColsN int
+	Data         []float32
+}
+
+// ToF32 rounds src to float32 row by row. The conversion is a pure
+// elementwise rounding, so it is deterministic at any worker count.
+func ToF32(src RowSource, workers int) *F32Table {
+	rows, cols := src.NumRows(), src.NumCols()
+	t := &F32Table{RowsN: rows, ColsN: cols, Data: make([]float32, rows*cols)}
+	perf.ParallelMin(rows, copyRowGrain, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := src.Row(i)
+			out := t.Data[i*cols : (i+1)*cols]
+			for j, v := range row {
+				out[j] = float32(v)
+			}
+		}
+	})
+	return t
+}
+
+// Dtype returns DtypeF32.
+func (t *F32Table) Dtype() Dtype { return DtypeF32 }
+
+// NumRows returns the row count.
+func (t *F32Table) NumRows() int { return t.RowsN }
+
+// NumCols returns the column count.
+func (t *F32Table) NumCols() int { return t.ColsN }
+
+// ResidentBytes returns the table size in bytes.
+func (t *F32Table) ResidentBytes() int64 { return int64(len(t.Data)) * 4 }
+
+// Query converts the query once; scoring is then a float32 dot per
+// row.
+func (t *F32Table) Query(q []float64) QuantQuery {
+	q32 := make([]float32, len(q))
+	for j, v := range q {
+		q32[j] = float32(v)
+	}
+	return &f32Query{t: t, q: q32}
+}
+
+type f32Query struct {
+	t *F32Table
+	q []float32
+}
+
+func (s *f32Query) Scores(lo, hi int, out []float64) {
+	cols := s.t.ColsN
+	for i := lo; i < hi; i++ {
+		row := s.t.Data[i*cols : (i+1)*cols]
+		var acc float32
+		for j, v := range row {
+			acc += s.q[j] * v
+		}
+		out[i-lo] = float64(acc)
+	}
+}
+
+// PQParams fixes a product-quantization configuration. Two trainings
+// over the same table with equal params produce identical codebooks
+// and codes — the property that lets a server adopt index-time
+// codebooks from an artifact, or recompute them and get the same
+// bytes.
+type PQParams struct {
+	// M is the subspace count; subspace s covers columns
+	// [s*dim/M, (s+1)*dim/M).
+	M int
+	// K is the number of centroids per subspace (<= 256 so a code
+	// fits one byte).
+	K int
+	// Iters is the fixed Lloyd iteration count.
+	Iters int
+	// Seed feeds centroid initialization.
+	Seed uint64
+}
+
+// pqDefaultSeed seeds codebook training everywhere a caller does not
+// choose one, so index-time and serve-time trainings agree.
+const pqDefaultSeed = 0x9E3779B97F4A7C15
+
+// ResolvePQ returns the default configuration for a table shape:
+// ~2 columns per subspace (fine enough to keep the ef-wide candidate
+// beam recall-safe on clustered embedding tables) and a centroid
+// budget that keeps the codebook small relative to the rows it
+// summarizes.
+func ResolvePQ(rows, dim int) PQParams {
+	m := (dim + 1) / 2
+	if m < 1 {
+		m = 1
+	}
+	if m > dim && dim > 0 {
+		m = dim
+	}
+	k := rows / 8
+	if k < 2 {
+		k = 2
+	}
+	if k > 256 {
+		k = 256
+	}
+	if k > rows && rows > 0 {
+		k = rows
+	}
+	return PQParams{M: m, K: k, Iters: 8, Seed: pqDefaultSeed}
+}
+
+// PQTable is a product-quantized embedding table: one byte per
+// subspace per row plus an M*K codebook of float64 centroids.
+// Centroids[(s*K+c)*dim + j] holds centroid c of subspace s laid out
+// over the full dim (columns outside the subspace are zero), which
+// keeps ADC table construction a plain dot over the subspace span.
+type PQTable struct {
+	RowsN, ColsN int
+	Params       PQParams
+	// Centroids is packed per subspace: for subspace s with span
+	// width w_s, centroid c occupies Centroids[off_s + c*w_s : ...].
+	Centroids []float64
+	// Codes[r*M+s] is row r's centroid id in subspace s.
+	Codes []uint8
+}
+
+// subSpan returns the column range of subspace s for width dim split
+// into m even spans.
+func subSpan(dim, m, s int) (lo, hi int) {
+	return s * dim / m, (s + 1) * dim / m
+}
+
+// centOff returns the offset of subspace s's centroid block within
+// the packed Centroids slice.
+func centOff(dim, m, k, s int) int {
+	off := 0
+	for t := 0; t < s; t++ {
+		lo, hi := subSpan(dim, m, t)
+		off += k * (hi - lo)
+	}
+	return off
+}
+
+// centroidsLen is the packed Centroids length for a configuration.
+func centroidsLen(dim, m, k int) int { return centOff(dim, m, k, m) }
+
+// PQCentroidsLen returns the packed centroid slice length for a
+// configuration — the artifact codec's sizing rule for the codebook
+// section.
+func PQCentroidsLen(dim, m, k int) int { return centroidsLen(dim, m, k) }
+
+// splitmix64 is the stateless seed expander used for deterministic
+// centroid initialization.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// TrainPQ runs seeded Lloyd k-means independently per subspace and
+// encodes every row. Determinism: centroid init is a pure function of
+// (Seed, rows, K); assignment is row-owned (parallel workers write
+// disjoint code ranges); centroid accumulation walks rows serially in
+// id order; distance ties break toward the lower centroid id; empty
+// clusters keep their previous centroid. The result is bit-identical
+// at any worker count.
+func TrainPQ(src RowSource, p PQParams, workers int) *PQTable {
+	rows, dim := src.NumRows(), src.NumCols()
+	if p.M < 1 || p.M > dim || p.K < 1 || p.K > 256 || p.K > rows || p.Iters < 0 {
+		panic(fmt.Sprintf("mat: invalid PQ params M=%d K=%d iters=%d for %dx%d table", p.M, p.K, p.Iters, rows, dim))
+	}
+	t := &PQTable{
+		RowsN:     rows,
+		ColsN:     dim,
+		Params:    p,
+		Centroids: make([]float64, centroidsLen(dim, p.M, p.K)),
+		Codes:     make([]uint8, rows*p.M),
+	}
+	for s := 0; s < p.M; s++ {
+		lo, hi := subSpan(dim, p.M, s)
+		w := hi - lo
+		cents := t.Centroids[centOff(dim, p.M, p.K, s):centOff(dim, p.M, p.K, s+1)]
+		// Stratified init jittered by the seed: centroid c starts at a
+		// distinct row, spread across the table.
+		for c := 0; c < p.K; c++ {
+			stride := rows / p.K
+			jitter := 0
+			if stride > 1 {
+				jitter = int(splitmix64(p.Seed+uint64(s)*977+uint64(c)) % uint64(stride))
+			}
+			r := c*stride + jitter
+			if r >= rows {
+				r = rows - 1
+			}
+			copy(cents[c*w:(c+1)*w], src.Row(r)[lo:hi])
+		}
+		assign := make([]uint8, rows)
+		for it := 0; it <= p.Iters; it++ {
+			// Assign each row's subvector to the nearest centroid
+			// (squared L2, ties to the lower id). Row-owned, so the
+			// parallel decomposition cannot affect the result.
+			perf.ParallelMin(rows, copyRowGrain, workers, func(_, rlo, rhi int) {
+				for r := rlo; r < rhi; r++ {
+					sub := src.Row(r)[lo:hi]
+					best, bestD := 0, pqDist(sub, cents[:w])
+					for c := 1; c < p.K; c++ {
+						if d := pqDist(sub, cents[c*w:(c+1)*w]); d < bestD {
+							best, bestD = c, d
+						}
+					}
+					assign[r] = uint8(best)
+				}
+			})
+			if it == p.Iters {
+				break
+			}
+			// Recompute means serially in row order; empty clusters
+			// keep their previous centroid.
+			sums := make([]float64, p.K*w)
+			counts := make([]int, p.K)
+			for r := 0; r < rows; r++ {
+				c := int(assign[r])
+				counts[c]++
+				acc := sums[c*w : (c+1)*w]
+				for j, v := range src.Row(r)[lo:hi] {
+					acc[j] += v
+				}
+			}
+			for c := 0; c < p.K; c++ {
+				if counts[c] == 0 {
+					continue
+				}
+				inv := 1 / float64(counts[c])
+				for j := 0; j < w; j++ {
+					cents[c*w+j] = sums[c*w+j] * inv
+				}
+			}
+		}
+		for r := 0; r < rows; r++ {
+			t.Codes[r*p.M+s] = assign[r]
+		}
+	}
+	return t
+}
+
+// pqDist is squared L2 between a subvector and a centroid.
+func pqDist(x, c []float64) float64 {
+	d := 0.0
+	for j, v := range x {
+		e := v - c[j]
+		d += e * e
+	}
+	return d
+}
+
+// Validate checks structural consistency (shape, code range) — the
+// artifact decoder's guard against corrupt sections.
+func (t *PQTable) Validate() error {
+	p := t.Params
+	if t.RowsN < 0 || t.ColsN < 1 {
+		return fmt.Errorf("mat: pq table shape %dx%d", t.RowsN, t.ColsN)
+	}
+	if p.M < 1 || p.M > t.ColsN {
+		return fmt.Errorf("mat: pq M=%d out of range for dim %d", p.M, t.ColsN)
+	}
+	if p.K < 1 || p.K > 256 {
+		return fmt.Errorf("mat: pq K=%d out of range", p.K)
+	}
+	if want := centroidsLen(t.ColsN, p.M, p.K); len(t.Centroids) != want {
+		return fmt.Errorf("mat: pq centroids len %d, want %d", len(t.Centroids), want)
+	}
+	if want := t.RowsN * p.M; len(t.Codes) != want {
+		return fmt.Errorf("mat: pq codes len %d, want %d", len(t.Codes), want)
+	}
+	for _, c := range t.Codes {
+		if int(c) >= p.K {
+			return fmt.Errorf("mat: pq code %d >= K=%d", c, p.K)
+		}
+	}
+	return nil
+}
+
+// Dtype returns DtypeI8PQ.
+func (t *PQTable) Dtype() Dtype { return DtypeI8PQ }
+
+// NumRows returns the row count.
+func (t *PQTable) NumRows() int { return t.RowsN }
+
+// NumCols returns the column count.
+func (t *PQTable) NumCols() int { return t.ColsN }
+
+// ResidentBytes returns codes plus codebook size in bytes.
+func (t *PQTable) ResidentBytes() int64 {
+	return int64(len(t.Codes)) + int64(len(t.Centroids))*8
+}
+
+// Query builds the asymmetric distance table: tab[s*K+c] =
+// dot(query_s, centroid_{s,c}), so a row scores in M table lookups.
+func (t *PQTable) Query(q []float64) QuantQuery {
+	p := t.Params
+	tab := make([]float64, p.M*p.K)
+	for s := 0; s < p.M; s++ {
+		lo, hi := subSpan(t.ColsN, p.M, s)
+		w := hi - lo
+		qs := q[lo:hi]
+		cents := t.Centroids[centOff(t.ColsN, p.M, p.K, s):]
+		for c := 0; c < p.K; c++ {
+			tab[s*p.K+c] = dot(qs, cents[c*w:(c+1)*w])
+		}
+	}
+	return &pqQuery{t: t, tab: tab}
+}
+
+type pqQuery struct {
+	t   *PQTable
+	tab []float64
+}
+
+func (s *pqQuery) Scores(lo, hi int, out []float64) {
+	m, k := s.t.Params.M, s.t.Params.K
+	for r := lo; r < hi; r++ {
+		codes := s.t.Codes[r*m : (r+1)*m]
+		acc := 0.0
+		for sub, c := range codes {
+			acc += s.tab[sub*k+int(c)]
+		}
+		out[r-lo] = acc
+	}
+}

@@ -1,0 +1,214 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// dtypeTable builds a seeded deterministic table in (-1, 1).
+func dtypeTable(rows, cols int) *Dense {
+	m := New(rows, cols)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range m.Data {
+		x = x*6364136223846793005 + 1442695040888963407
+		m.Data[i] = float64(int64(x>>11))/float64(1<<52) - 1
+	}
+	return m
+}
+
+func TestDtypeNames(t *testing.T) {
+	cases := []struct {
+		d    Dtype
+		name string
+	}{{DtypeF64, "f64"}, {DtypeF32, "f32"}, {DtypeI8PQ, "i8pq"}}
+	for _, c := range cases {
+		if c.d.String() != c.name {
+			t.Errorf("String(%d) = %q, want %q", c.d, c.d.String(), c.name)
+		}
+		got, err := ParseDtype(c.name)
+		if err != nil || got != c.d {
+			t.Errorf("ParseDtype(%q) = %v, %v", c.name, got, err)
+		}
+	}
+	if got, err := ParseDtype(""); err != nil || got != DtypeF64 {
+		t.Errorf("empty dtype should default to f64, got %v, %v", got, err)
+	}
+	if _, err := ParseDtype("f16"); err == nil {
+		t.Error("unknown dtype accepted")
+	}
+}
+
+// TestToF32DeviationBound pins the f32 conversion's accuracy contract:
+// each element deviates from the source by at most one float32 ulp of
+// relative error — the bound the exactness harness relies on when it
+// argues f32 ANN scans stay close enough to feed the exact rerank.
+func TestToF32DeviationBound(t *testing.T) {
+	src := dtypeTable(200, 17)
+	ft := ToF32(src, 3)
+	if ft.NumRows() != 200 || ft.NumCols() != 17 || ft.Dtype() != DtypeF32 {
+		t.Fatalf("shape/dtype: %dx%d %v", ft.NumRows(), ft.NumCols(), ft.Dtype())
+	}
+	const relUlp = 1.0 / (1 << 23)
+	for i, v := range src.Data {
+		got := float64(ft.Data[i])
+		if math.Abs(got-v) > math.Abs(v)*relUlp {
+			t.Fatalf("element %d: f32 %v deviates from %v beyond one ulp", i, got, v)
+		}
+	}
+	if got, want := ft.ResidentBytes(), int64(200*17*4); got != want {
+		t.Errorf("ResidentBytes = %d, want %d", got, want)
+	}
+}
+
+// TestToF32WorkerInvariance: the conversion is elementwise, so any
+// worker count produces the same bytes.
+func TestToF32WorkerInvariance(t *testing.T) {
+	src := dtypeTable(333, 9)
+	ref := ToF32(src, 1)
+	for _, w := range []int{2, 5, 16} {
+		got := ToF32(src, w)
+		for i := range ref.Data {
+			if math.Float32bits(got.Data[i]) != math.Float32bits(ref.Data[i]) {
+				t.Fatalf("workers=%d: element %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestF32QueryScores(t *testing.T) {
+	src := dtypeTable(50, 8)
+	ft := ToF32(src, 2)
+	q := src.Row(3)
+	qq := ft.Query(q)
+	out := make([]float64, 50)
+	qq.Scores(0, 50, out)
+	// Reference: the same float32 accumulation done by hand.
+	q32 := make([]float32, 8)
+	for j, v := range q {
+		q32[j] = float32(v)
+	}
+	for r := 0; r < 50; r++ {
+		var acc float32
+		for j := 0; j < 8; j++ {
+			acc += q32[j] * ft.Data[r*8+j]
+		}
+		if math.Float64bits(out[r]) != math.Float64bits(float64(acc)) {
+			t.Fatalf("row %d: score %v, want %v", r, out[r], float64(acc))
+		}
+	}
+}
+
+// TestResolvePQShapes checks that the default configuration is always
+// trainable: every resolved parameter set passes TrainPQ's own
+// validation for the shape it was resolved for.
+func TestResolvePQShapes(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {2, 3}, {10, 4}, {100, 16}, {295, 12}, {3000, 64}, {100000, 128}}
+	for _, sh := range shapes {
+		rows, dim := sh[0], sh[1]
+		p := ResolvePQ(rows, dim)
+		if p.M < 1 || p.M > dim {
+			t.Errorf("shape %v: M=%d out of [1,%d]", sh, p.M, dim)
+		}
+		if p.K < 1 || p.K > 256 || p.K > rows {
+			t.Errorf("shape %v: K=%d out of range", sh, p.K)
+		}
+		if p.Seed == 0 || p.Iters < 1 {
+			t.Errorf("shape %v: degenerate params %+v", sh, p)
+		}
+	}
+}
+
+// TestTrainPQWorkerInvariance is the codebook determinism contract:
+// training at any worker count yields bit-identical centroids and
+// codes — the property that lets a server adopt index-time codebooks
+// or retrain and get the same bytes.
+func TestTrainPQWorkerInvariance(t *testing.T) {
+	src := dtypeTable(400, 13)
+	p := ResolvePQ(400, 13)
+	ref := TrainPQ(src, p, 1)
+	if err := ref.Validate(); err != nil {
+		t.Fatalf("trained table invalid: %v", err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		got := TrainPQ(src, p, w)
+		for i := range ref.Centroids {
+			if math.Float64bits(got.Centroids[i]) != math.Float64bits(ref.Centroids[i]) {
+				t.Fatalf("workers=%d: centroid element %d differs", w, i)
+			}
+		}
+		for i := range ref.Codes {
+			if got.Codes[i] != ref.Codes[i] {
+				t.Fatalf("workers=%d: code %d differs", w, i)
+			}
+		}
+	}
+	if got, want := ref.ResidentBytes(), int64(len(ref.Codes))+int64(len(ref.Centroids))*8; got != want {
+		t.Errorf("ResidentBytes = %d, want %d", got, want)
+	}
+}
+
+// TestPQQueryMatchesReconstruction: the ADC table path must score each
+// row exactly as dot(query, reconstructed row) — M per-subspace
+// centroid dots, accumulated in subspace order.
+func TestPQQueryMatchesReconstruction(t *testing.T) {
+	src := dtypeTable(120, 10)
+	p := ResolvePQ(120, 10)
+	pt := TrainPQ(src, p, 2)
+	q := src.Row(7)
+	out := make([]float64, 120)
+	pt.Query(q).Scores(0, 120, out)
+	for r := 0; r < 120; r++ {
+		acc := 0.0
+		for s := 0; s < p.M; s++ {
+			lo, hi := subSpan(10, p.M, s)
+			w := hi - lo
+			c := int(pt.Codes[r*p.M+s])
+			cent := pt.Centroids[centOff(10, p.M, p.K, s)+c*w:]
+			acc += dot(q[lo:hi], cent[:w])
+		}
+		if math.Float64bits(out[r]) != math.Float64bits(acc) {
+			t.Fatalf("row %d: ADC score %v, reconstruction %v", r, out[r], acc)
+		}
+	}
+}
+
+// TestPQValidateRejectsCorruption drives Validate with the damage the
+// artifact decoder must catch after a structurally valid parse.
+func TestPQValidateRejectsCorruption(t *testing.T) {
+	src := dtypeTable(64, 8)
+	fresh := func() *PQTable { return TrainPQ(src, ResolvePQ(64, 8), 1) }
+
+	pt := fresh()
+	pt.Codes[5] = uint8(pt.Params.K) // one past the last centroid
+	if err := pt.Validate(); err == nil {
+		t.Error("out-of-range code accepted")
+	}
+	pt = fresh()
+	pt.Centroids = pt.Centroids[:len(pt.Centroids)-1]
+	if err := pt.Validate(); err == nil {
+		t.Error("truncated codebook accepted")
+	}
+	pt = fresh()
+	pt.Codes = pt.Codes[:len(pt.Codes)-1]
+	if err := pt.Validate(); err == nil {
+		t.Error("truncated codes accepted")
+	}
+	pt = fresh()
+	pt.Params.M = 99
+	if err := pt.Validate(); err == nil {
+		t.Error("M beyond dim accepted")
+	}
+}
+
+func TestGatherRowsSrc(t *testing.T) {
+	src := dtypeTable(20, 6)
+	dst := New(3, 6)
+	GatherRowsSrc(dst, src, []int{19, 0, 7})
+	for i, r := range []int{19, 0, 7} {
+		for j := 0; j < 6; j++ {
+			if dst.At(i, j) != src.At(r, j) {
+				t.Fatalf("gathered row %d col %d mismatch", i, j)
+			}
+		}
+	}
+}

@@ -52,7 +52,7 @@ func TestANNRecallOnTrainedEmbeddings(t *testing.T) {
 	}
 	idx := eng.annIndex(st)
 
-	n := st.Emb.Rows
+	n := st.Emb.NumRows()
 	queries := make([]int32, 0, 100)
 	for q := 0; q < n; q += n / 100 {
 		queries = append(queries, int32(q))

@@ -238,7 +238,7 @@ func (b *batcher) run(batch []*batchReq) {
 	}
 
 	h := mat.New(len(all), st.Dim())
-	mat.GatherRows(h, st.Emb, all)
+	mat.GatherRowsSrc(h, st.Emb, all)
 	var logits *mat.Dense
 	if anyPredict {
 		logits = headLogits(st, h)

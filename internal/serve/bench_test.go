@@ -9,6 +9,7 @@ import (
 
 	"gsgcn/internal/artifact"
 	"gsgcn/internal/datasets"
+	"gsgcn/internal/mat"
 )
 
 // BenchmarkServeEmbed measures single-node embedding query
@@ -72,7 +73,7 @@ func BenchmarkTopKAnnVsExact(b *testing.B) {
 		b.Fatal(err)
 	}
 	const k = 10
-	n := st.Emb.Rows
+	n := st.Emb.NumRows()
 
 	b.Run("exact", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -141,6 +142,47 @@ func BenchmarkWarmVsColdStart(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkWarmStartMmap prices the two warm-start transports on a
+// >= 2k-vertex i8pq artifact: "decode" reads, checksums and copies the
+// whole file into heap tables; "mmap" maps it, validates the small
+// sections eagerly and lets the embedding pages fault in on demand.
+// Both go through the engine's real install path with a fresh engine
+// per iteration; each case reports the private working set it ends up
+// holding, so the latency win is read next to the memory win.
+func BenchmarkWarmStartMmap(b *testing.B) {
+	ds := datasets.Generate(datasets.Config{
+		Name: "warm-bench", Vertices: 2000, TargetEdges: 16000,
+		FeatureDim: 32, NumClasses: 8, Seed: 7,
+	})
+	m := testModel(b, ds, 2, "mean")
+	snap, err := BuildSnapshot(ds, m, Options{Dtype: mat.DtypeI8PQ}, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "m.art")
+	if _, err := artifact.WriteFile(path, snap); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, mmap bool) {
+		var resident int64
+		for i := 0; i < b.N; i++ {
+			eng := NewEngine(ds, Options{ANN: true, ArtifactPath: path, Dtype: mat.DtypeI8PQ, Mmap: mmap})
+			if _, err := eng.Install(m); err != nil {
+				b.Fatal(err)
+			}
+			st, _ := eng.Snapshot()
+			if !st.WarmStart || (st.MappedBytes() > 0) != mmap {
+				b.Fatalf("warm start: warm=%v mapped=%d", st.WarmStart, st.MappedBytes())
+			}
+			resident = st.ResidentBytes()
+		}
+		b.ReportMetric(float64(resident), "resident_bytes")
+	}
+	b.Run("decode", func(b *testing.B) { run(b, false) })
+	b.Run("mmap", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkObsOverhead prices the observability middleware on the

@@ -72,6 +72,19 @@ type Options struct {
 	// may override it per call with the ef parameter; recall rises
 	// with ef at the cost of visiting more candidates.
 	ANNEf int
+	// Dtype selects the resident representation of the serving table:
+	// f64 (the zero value), f32 or i8pq. Exact-mode answers are
+	// byte-identical across dtypes by construction — quantized
+	// representations only generate ANN candidate beams, which are
+	// reranked with exact float64 scores before anything is returned.
+	Dtype mat.Dtype
+	// Mmap makes warm starts memory-map the artifact instead of
+	// decoding it to private heap: the float64 table then lives in
+	// shared page cache and faults in on demand. Only version-2
+	// artifacts map; anything else falls back to the decoding warm
+	// path. Answers are byte-identical either way (the mapping holds
+	// the same bytes the decoder would copy).
+	Mmap bool
 	// ArtifactPath names a snapshot artifact file (internal/artifact,
 	// produced by cmd/gsgcn-index) to warm-start from. When set, every
 	// install — initial load and hot reload alike — first tries to
@@ -186,10 +199,32 @@ type State struct {
 	ModelVersion uint64
 	// Emb is the final-layer embedding table: |V| x dim for a
 	// whole-graph engine, |owned| x dim for a shard engine (rows in
-	// ascending owned-id order).
-	Emb *mat.Dense
+	// ascending owned-id order). It is a RowSource: a heap matrix on
+	// the cold path, a view into a memory-mapped artifact on the mmap
+	// warm path. Either way the rows are exact float64 — every exact
+	// answer reads this table, whatever the configured dtype.
+	Emb mat.RowSource
 	// norms[r] is ||Emb[r]||₂, precomputed for cosine similarity.
 	norms []float64
+
+	// quant is the compact scan table backing ANN mode for non-f64
+	// dtypes (nil when dtype is f64 — HNSW serves ANN there). Its
+	// beams are always exact-reranked before leaving the engine.
+	quant mat.Quantized
+	// dtype is the resident representation this snapshot serves with.
+	dtype mat.Dtype
+	// resident counts the bytes of the hot serving working set:
+	// the f64 table when it is private heap (not mapped), the norms,
+	// and the quantized codes plus codebooks.
+	resident int64
+	// mappedBytes is the size of the backing artifact mapping (0 when
+	// the snapshot was decoded to heap).
+	mappedBytes int64
+	// mapped pins the artifact mapping for the snapshot's lifetime;
+	// the unmap happens via finalizer after the last reference to a
+	// swapped-out snapshot is collected, so in-flight readers of an
+	// old State never race an munmap.
+	mapped *artifact.Mapped
 
 	// total is the graph's full vertex count — the id range queries
 	// validate against, which for a shard engine exceeds Emb.Rows.
@@ -225,7 +260,18 @@ func (s *State) setIndex(idx *ann.Index) {
 }
 
 // Dim returns the embedding dimensionality.
-func (s *State) Dim() int { return s.Emb.Cols }
+func (s *State) Dim() int { return s.Emb.NumCols() }
+
+// Dtype returns the snapshot's resident representation.
+func (s *State) Dtype() mat.Dtype { return s.dtype }
+
+// ResidentBytes returns the private working-set size of the serving
+// table representation (see the resident field).
+func (s *State) ResidentBytes() int64 { return s.resident }
+
+// MappedBytes returns the size of the artifact mapping backing this
+// snapshot (0 when decoded to heap).
+func (s *State) MappedBytes() int64 { return s.mappedBytes }
 
 // rowOf maps a global vertex id to its local row, reporting false
 // when the snapshot does not hold that vertex (a shard snapshot and a
@@ -442,7 +488,7 @@ func (e *Engine) buildState(m *core.Model, full func() (*mat.Dense, []float64)) 
 	if e.opts.sharded() {
 		emb, norms = compactRows(emb, norms, e.owned)
 	}
-	return &State{
+	st := &State{
 		Model:        m,
 		ModelVersion: m.ModelVersion,
 		Emb:          emb,
@@ -450,6 +496,48 @@ func (e *Engine) buildState(m *core.Model, full func() (*mat.Dense, []float64)) 
 		total:        e.ds.G.NumVertices(),
 		owned:        e.owned,
 		WarmNote:     warmNote,
+	}
+	e.attachPlane(st, nil, nil, nil)
+	return st
+}
+
+// attachPlane fills a freshly built snapshot's memory-plane fields:
+// the quantized scan table for non-f64 dtypes and the byte
+// accounting. A payload decoded from an artifact (f32/pq) is adopted
+// only when it is exactly what the engine would train itself — same
+// shape, same resolved parameters — so quantization, like every other
+// table, is a pure function of the embedding rows however it reaches
+// the process.
+func (e *Engine) attachPlane(st *State, f32 *mat.F32Table, pq *mat.PQTable, mapped *artifact.Mapped) {
+	st.dtype = e.opts.Dtype
+	rows, cols := st.Emb.NumRows(), st.Emb.NumCols()
+	switch e.opts.Dtype {
+	case mat.DtypeF32:
+		if f32 != nil && f32.RowsN == rows && f32.ColsN == cols {
+			st.quant = f32
+		} else {
+			st.quant = mat.ToF32(st.Emb, e.opts.Workers)
+		}
+	case mat.DtypeI8PQ:
+		if rows == 0 || cols == 0 {
+			break
+		}
+		want := mat.ResolvePQ(rows, cols)
+		if pq != nil && pq.RowsN == rows && pq.ColsN == cols && pq.Params == want {
+			st.quant = pq
+		} else {
+			st.quant = mat.TrainPQ(st.Emb, want, e.opts.Workers)
+		}
+	}
+	st.mapped = mapped
+	if mapped != nil {
+		st.mappedBytes = mapped.MappedBytes()
+	} else {
+		st.resident += int64(rows) * int64(cols) * 8
+	}
+	st.resident += int64(len(st.norms)) * 8
+	if st.quant != nil {
+		st.resident += st.quant.ResidentBytes()
 	}
 }
 
@@ -478,6 +566,96 @@ func compactRows(emb *mat.Dense, norms []float64, owned []int32) (*mat.Dense, []
 // bit-deterministic, a warm snapshot is byte-identical to the cold
 // one it replaces (test-enforced in warm_test.go).
 func (e *Engine) warmState(m *core.Model, artPath string) (*State, string) {
+	want := e.wantMeta(m)
+	if e.opts.Mmap {
+		st, note := e.warmMapped(m, artPath, want)
+		if st != nil {
+			return st, ""
+		}
+		// Anything that cannot map (a v1 artifact, an exotic platform)
+		// may still decode; remember why the fast path was skipped.
+		st, note2 := e.warmDecoded(m, artPath, want)
+		if st != nil {
+			return st, ""
+		}
+		return nil, fmt.Sprintf("mmap: %s; decode: %s", note, note2)
+	}
+	return e.warmDecoded(m, artPath, want)
+}
+
+// reuseState clones the serving-table fields of an unchanged previous
+// warm snapshot into a fresh State for m — the no-decode reload path.
+func (e *Engine) reuseState(m *core.Model, prev *State) *State {
+	st := &State{
+		Model:        m,
+		ModelVersion: m.ModelVersion,
+		Emb:          prev.Emb,
+		norms:        prev.norms,
+		total:        e.ds.G.NumVertices(),
+		owned:        e.owned,
+		WarmStart:    true,
+		quant:        prev.quant,
+		dtype:        prev.dtype,
+		resident:     prev.resident,
+		mappedBytes:  prev.mappedBytes,
+		mapped:       prev.mapped,
+	}
+	if idx := prev.annIdx.Load(); idx != nil {
+		st.setIndex(idx)
+	}
+	return st
+}
+
+// adoptIndex installs a persisted index only when it is the index the
+// lazy path would build (same structural parameters); otherwise the
+// lazy build stays in place — the embeddings are still warm.
+func (e *Engine) adoptIndex(st *State, idx *ann.Index) {
+	if idx == nil {
+		return
+	}
+	if got, want := idx.Params(), e.opts.annParams().Resolved(); got.M == want.M &&
+		got.EfConstruction == want.EfConstruction && got.Seed == want.Seed {
+		st.setIndex(idx)
+	}
+}
+
+// warmMapped is the mmap warm path: open the artifact as a read-only
+// mapping and serve straight out of it. Integrity is per section
+// (eager for the small sections, first-row-access for the table);
+// the stored trailer sum is the reuse fingerprint.
+func (e *Engine) warmMapped(m *core.Model, artPath string, want artifact.Meta) (*State, string) {
+	mp, err := artifact.OpenMapped(artPath)
+	if err != nil {
+		return nil, err.Error()
+	}
+	if mp.Meta() != want {
+		got := mp.Meta()
+		_ = mp.Close()
+		return nil, fmt.Sprintf("artifact was built for %+v, serving %+v", got, want)
+	}
+	if prev := e.state.Load(); prev != nil && prev.WarmStart && prev.mapped != nil &&
+		mp.Sum() == e.artSum && e.artMeta == want {
+		_ = mp.Close()
+		return e.reuseState(m, prev), ""
+	}
+	e.artSum, e.artMeta = mp.Sum(), want
+	st := &State{
+		Model:        m,
+		ModelVersion: m.ModelVersion,
+		Emb:          mp.Table(),
+		norms:        mp.Norms(),
+		total:        e.ds.G.NumVertices(),
+		owned:        e.owned,
+		WarmStart:    true,
+	}
+	e.adoptIndex(st, mp.Index())
+	e.attachPlane(st, mp.F32(), mp.PQ(), mp)
+	return st, ""
+}
+
+// warmDecoded is the copying warm path: read, checksum and decode the
+// whole artifact into private heap.
+func (e *Engine) warmDecoded(m *core.Model, artPath string, want artifact.Meta) (*State, string) {
 	// Read and integrity-check the file before fingerprinting the
 	// model: the common no-artifact miss should cost one failed open,
 	// not a CRC pass over every weight tensor.
@@ -489,21 +667,8 @@ func (e *Engine) warmState(m *core.Model, artPath string) (*State, string) {
 	if err != nil {
 		return nil, err.Error()
 	}
-	want := e.wantMeta(m)
 	if prev := e.state.Load(); prev != nil && prev.WarmStart && sum == e.artSum && e.artMeta == want {
-		st := &State{
-			Model:        m,
-			ModelVersion: m.ModelVersion,
-			Emb:          prev.Emb,
-			norms:        prev.norms,
-			total:        e.ds.G.NumVertices(),
-			owned:        e.owned,
-			WarmStart:    true,
-		}
-		if idx := prev.annIdx.Load(); idx != nil {
-			st.setIndex(idx)
-		}
-		return st, ""
+		return e.reuseState(m, prev), ""
 	}
 	snap, err := artifact.DecodeVerified(data)
 	if err != nil {
@@ -522,15 +687,8 @@ func (e *Engine) warmState(m *core.Model, artPath string) (*State, string) {
 		owned:        e.owned,
 		WarmStart:    true,
 	}
-	// Adopt the persisted index only when it is the index the lazy
-	// path would build (same structural parameters); otherwise leave
-	// the lazy build in place — the embeddings are still warm.
-	if snap.Index != nil {
-		if got, want := snap.Index.Params(), e.opts.annParams().Resolved(); got.M == want.M &&
-			got.EfConstruction == want.EfConstruction && got.Seed == want.Seed {
-			st.setIndex(snap.Index)
-		}
-	}
+	e.adoptIndex(st, snap.Index)
+	e.attachPlane(st, snap.F32, snap.PQ, nil)
 	return st, ""
 }
 
@@ -815,7 +973,7 @@ func predictOn(st *State, ids []int) (*PredictResult, error) {
 		return nil, err
 	}
 	h := mat.New(len(ids), st.Dim())
-	mat.GatherRows(h, st.Emb, rows)
+	mat.GatherRowsSrc(h, st.Emb, rows)
 	logits := headLogits(st, h)
 	return predictionsFromLogits(st, ids, logits, 0), nil
 }
@@ -947,7 +1105,7 @@ func (e *Engine) TopKWith(id, k int, mode string, ef int) (*TopKResult, error) {
 		}
 		// The beam covers (almost) the whole table: the exact scan is
 		// both cheaper and, by definition, at least as accurate.
-		if n := st.Emb.Rows; ef >= n-1 || k >= n-1 {
+		if n := st.Emb.NumRows(); ef >= n-1 || k >= n-1 {
 			useANN = false
 		}
 	}
@@ -1005,20 +1163,28 @@ func (e *Engine) topkANN(st *State, id, k, ef int) *TopKResult {
 	}
 }
 
-// annVec runs an HNSW beam search of the snapshot's table for an
-// arbitrary query vector, excluding global vertex id exclude (-1 =
-// none), and reports the candidates as global ids. The index is built
-// over local rows, so the exclusion and the results are mapped
-// through the snapshot's owned list.
+// annVec runs the snapshot's ANN candidate search for an arbitrary
+// query vector, excluding global vertex id exclude (-1 = none), and
+// reports the candidates as global ids. On an f64 snapshot this is an
+// HNSW beam search; on a quantized snapshot it is the flat scan of
+// the compact table followed by an exact-f64 rerank of the ef-wide
+// beam — so every score returned, whatever the dtype, is bit-equal to
+// the exact scanner's score for that row. The search runs over local
+// rows; exclusion and results map through the snapshot's owned list.
 func (e *Engine) annVec(st *State, q []float64, qn float64, exclude, k, ef int) []Neighbor {
-	idx := e.annIndex(st)
 	ex := int32(-1)
 	if exclude >= 0 {
 		if r, ok := st.rowOf(exclude); ok {
 			ex = int32(r)
 		}
 	}
-	cands := idx.Search(q, qn, k, ef, ex)
+	var cands []ann.Candidate
+	if st.quant != nil {
+		beam := ann.ScanQuant(st.quant, st.norms, q, qn, ef, ex, e.opts.Workers)
+		cands = ann.RerankExact(st.Emb, st.norms, q, qn, beam, k)
+	} else {
+		cands = e.annIndex(st).Search(q, qn, k, ef, ex)
+	}
 	nbs := make([]Neighbor, len(cands))
 	for i, c := range cands {
 		nbs[i] = Neighbor{ID: st.globalID(int(c.ID)), Score: c.Score}
@@ -1046,7 +1212,7 @@ func topkScan(st *State, id, k, workers int) *TopKResult {
 // — and, because candidates carry global ids, a scatter over N shard
 // engines merges into exactly the whole-graph answer.
 func scanVec(st *State, q []float64, qn float64, exclude, k, workers int) []Neighbor {
-	n := st.Emb.Rows
+	n := st.Emb.NumRows()
 	// One bounded skiplist per contiguous row range.
 	shards := workers
 	if shards > n {
@@ -1113,7 +1279,7 @@ func (e *Engine) shardTopK(q []float64, qn float64, exclude, k int, useANN bool,
 	if err != nil {
 		return nil, nil, err
 	}
-	if useANN && ef < st.Emb.Rows-1 && k < st.Emb.Rows-1 {
+	if useANN && ef < st.Emb.NumRows()-1 && k < st.Emb.NumRows()-1 {
 		return e.annVec(st, q, qn, exclude, k, ef), st, nil
 	}
 	return scanVec(st, q, qn, exclude, k, e.opts.Workers), st, nil

@@ -166,7 +166,7 @@ func TestEngineMatchesTrainingForward(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := headLogits(st, st.Emb)
+	got := headLogits(st, st.Emb.(*mat.Dense))
 	if !got.Equal(want, 0) {
 		t.Fatalf("serving logits differ from training forward pass (max diff %g)", got.MaxAbsDiff(want))
 	}
@@ -195,7 +195,7 @@ func TestEngineEmbedAndPredict(t *testing.T) {
 		st, _ := eng.Snapshot()
 		for i, id := range ids {
 			for j, x := range emb.Vectors[i] {
-				if x != st.Emb.At(id, j) {
+				if x != st.Emb.Row(id)[j] {
 					t.Fatalf("vector %d element %d differs from table", i, j)
 				}
 			}
@@ -210,7 +210,7 @@ func TestEngineEmbedAndPredict(t *testing.T) {
 		}
 		// Labels must match the training-side prediction rule applied
 		// to the full-graph logits.
-		logits := headLogits(st, st.Emb)
+		logits := headLogits(st, st.Emb.(*mat.Dense))
 		var ref *mat.Dense
 		if multi {
 			ref = nn.PredictMulti(logits)
@@ -320,7 +320,7 @@ func TestTopKMatchesBruteForce(t *testing.T) {
 func bruteTopK(st *State, q, k int) []Neighbor {
 	var all []Neighbor
 	qrow := st.Emb.Row(q)
-	for v := 0; v < st.Emb.Rows; v++ {
+	for v := 0; v < st.Emb.NumRows(); v++ {
 		if v == q {
 			continue
 		}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"gsgcn/internal/artifact"
+	"gsgcn/internal/mat"
+)
+
+// memPlaneDtypes are the non-default resident representations the
+// exactness matrix sweeps.
+var memPlaneDtypes = []mat.Dtype{mat.DtypeF32, mat.DtypeI8PQ}
+
+// TestMemPlaneExactByteIdentity is the memory plane's acceptance bar:
+// in exact mode, /embed, /predict and /topk answers are byte-identical
+// to the f64 baseline at every dtype × Workers × shard-count
+// combination — changing the resident representation can never change
+// an exact answer, because exact reads always go to float64 rows.
+func TestMemPlaneExactByteIdentity(t *testing.T) {
+	ds := testDataset(t, false)
+	dir := t.TempDir()
+	ckpt := trainAndSave(t, ds, 1, dir)
+
+	ref := NewServer(ds, Options{Workers: 2})
+	defer ref.Close()
+	if _, err := ref.Load(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	refTS := httptest.NewServer(ref)
+	defer refTS.Close()
+
+	paths := []string{
+		"/embed?ids=0,7,42,299",
+		"/predict?ids=0,7,42,299",
+		"/predict?ids=123",
+		"/topk?id=7&k=10&mode=exact",
+		"/topk?id=0&k=25&mode=exact",
+		"/topk?id=299&k=1&mode=exact",
+		"/topk?id=nope", // error surfaces must match too
+	}
+	want := make(map[string]string)
+	wantCode := make(map[string]int)
+	for _, p := range paths {
+		code, body := get(t, refTS.URL+p)
+		want[p] = string(body)
+		wantCode[p] = code
+	}
+
+	for _, dtype := range memPlaneDtypes {
+		for _, shards := range []int{1, 2} {
+			for _, workers := range []int{1, 3} {
+				rt := newTestRouter(t, Options{Workers: workers, Dtype: dtype}, shards, 99, ckpt)
+				ts := httptest.NewServer(rt)
+				for _, p := range paths {
+					code, body := get(t, ts.URL+p)
+					if code != wantCode[p] {
+						t.Errorf("dtype=%s shards=%d workers=%d %s: status %d, f64 baseline %d",
+							dtype, shards, workers, p, code, wantCode[p])
+					}
+					if string(body) != want[p] {
+						t.Errorf("dtype=%s shards=%d workers=%d %s:\n got  %s\n want %s",
+							dtype, shards, workers, p, body, want[p])
+					}
+				}
+				ts.Close()
+				rt.Close()
+			}
+		}
+	}
+}
+
+// TestMemPlaneAnnScoresAreExact pins the rerank contract over the
+// serving surface: in ann mode on a quantized dtype, every reported
+// neighbor score is bit-identical to the exact scanner's score for
+// that row — quantization bounds recall, never score fidelity.
+func TestMemPlaneAnnScoresAreExact(t *testing.T) {
+	ds := testDataset(t, false)
+	m := testModel(t, ds, 2, "mean")
+
+	exact := NewEngine(ds, Options{Workers: 2})
+	if _, err := exact.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, dtype := range memPlaneDtypes {
+		eng := NewEngine(ds, Options{Workers: 2, Dtype: dtype})
+		if _, err := eng.Install(m); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := eng.Snapshot()
+		if st.quant == nil || st.quant.Dtype() != dtype {
+			t.Fatalf("dtype=%s: no quantized plane resident", dtype)
+		}
+		for _, q := range []int{0, 42, 299} {
+			full, err := exact.TopKWith(q, ds.G.NumVertices()-1, ModeExact, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bits := make(map[int]uint64, len(full.Neighbors))
+			for _, nb := range full.Neighbors {
+				bits[nb.ID] = math.Float64bits(nb.Score)
+			}
+			res, err := eng.TopKWith(q, 10, ModeANN, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Mode != ModeANN || len(res.Neighbors) != 10 {
+				t.Fatalf("dtype=%s q=%d: mode %q with %d neighbors", dtype, q, res.Mode, len(res.Neighbors))
+			}
+			for i, nb := range res.Neighbors {
+				wantBits, ok := bits[nb.ID]
+				if !ok || math.Float64bits(nb.Score) != wantBits {
+					t.Fatalf("dtype=%s q=%d rank %d: score %v for id %d is not the exact scanner's",
+						dtype, q, i, nb.Score, nb.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestMemPlaneHealthzAndResident checks the observability surface: the
+// dtype shows up in /healthz, resident accounting is positive, and the
+// mmap-backed int8-PQ plane shrinks the private working set at least
+// 3x against the decoded f64 table (decoded quantized servers keep the
+// exact f64 rows on the heap by design, so the memory win requires the
+// mapping).
+func TestMemPlaneHealthzAndResident(t *testing.T) {
+	ds := testDataset(t, false)
+	m := testModel(t, ds, 2, "mean")
+
+	scrape := func(opts Options) healthBody {
+		t.Helper()
+		srv := NewServer(ds, opts)
+		defer srv.Close()
+		if _, err := srv.eng.Install(m); err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		var health healthBody
+		if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 {
+			t.Fatalf("healthz = %d", code)
+		}
+		return health
+	}
+
+	// Decoded-heap servers: dtype reported, resident positive, nothing
+	// mapped; the quantized payload rides on top of the f64 table.
+	resident := map[mat.Dtype]int64{}
+	for _, dtype := range []mat.Dtype{mat.DtypeF64, mat.DtypeF32, mat.DtypeI8PQ} {
+		health := scrape(Options{Workers: 2, Dtype: dtype})
+		if health.Dtype != dtype.String() {
+			t.Errorf("healthz dtype = %q, want %q", health.Dtype, dtype)
+		}
+		if health.ResidentB <= 0 {
+			t.Errorf("dtype=%s: resident_bytes = %d", dtype, health.ResidentB)
+		}
+		if health.MappedB != 0 {
+			t.Errorf("dtype=%s: decoded-heap server reports mapped_bytes = %d", dtype, health.MappedB)
+		}
+		resident[dtype] = health.ResidentB
+	}
+	if resident[mat.DtypeI8PQ] <= resident[mat.DtypeF64] {
+		t.Errorf("decoded i8pq resident %d should exceed the bare f64 %d (table plus codes)",
+			resident[mat.DtypeI8PQ], resident[mat.DtypeF64])
+	}
+
+	// The mmap-backed i8pq server: the f64 table lives in the mapping,
+	// so the private working set drops at least 3x under the f64
+	// baseline.
+	snap, err := BuildSnapshot(ds, m, Options{Workers: 2, Dtype: mat.DtypeI8PQ}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/m.art"
+	if _, err := artifact.WriteFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	health := scrape(Options{Workers: 2, Dtype: mat.DtypeI8PQ, ArtifactPath: path, Mmap: true})
+	if !health.WarmStart || health.Dtype != "i8pq" {
+		t.Fatalf("mmap server did not warm-start as i8pq: %+v", health)
+	}
+	if health.MappedB <= 0 {
+		t.Errorf("mmap server reports mapped_bytes = %d", health.MappedB)
+	}
+	if 3*health.ResidentB > resident[mat.DtypeF64] {
+		t.Errorf("mmap i8pq resident %d bytes is not 3x under the f64 baseline %d",
+			health.ResidentB, resident[mat.DtypeF64])
+	}
+}
+
+// TestMemPlaneWarmMmapServesIdentically is the mmap half of the
+// tentpole: a server warm-started from a memory-mapped i8pq artifact
+// adopts the mapping (mapped bytes reported, f64 table not duplicated
+// on the heap) and serves exact answers bit-identical to a cold
+// f64 engine.
+func TestMemPlaneWarmMmapServesIdentically(t *testing.T) {
+	ds := testDataset(t, false)
+	m := testModel(t, ds, 2, "mean")
+
+	cold := NewEngine(ds, Options{Workers: 2, ANN: true})
+	if _, err := cold.Install(m); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dtype := range []mat.Dtype{mat.DtypeF64, mat.DtypeI8PQ} {
+		opts := Options{Workers: 2, ANN: true, Dtype: dtype}
+		snap, err := BuildSnapshot(ds, m, opts, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := t.TempDir() + "/m.art"
+		if _, err := artifact.WriteFile(path, snap); err != nil {
+			t.Fatal(err)
+		}
+		opts.ArtifactPath = path
+		opts.Mmap = true
+		warm := NewEngine(ds, opts)
+		if _, err := warm.Install(m); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := warm.Snapshot()
+		if !st.WarmStart || st.WarmNote != "" {
+			t.Fatalf("dtype=%s: mmap warm start failed: warm=%v note=%q", dtype, st.WarmStart, st.WarmNote)
+		}
+		if st.MappedBytes() <= 0 || st.mapped == nil {
+			t.Fatalf("dtype=%s: snapshot does not hold the mapping", dtype)
+		}
+		if _, heap := st.Emb.(*mat.Dense); heap {
+			t.Fatalf("dtype=%s: mmap warm start decoded the table to the heap anyway", dtype)
+		}
+		if st.Dtype() != dtype {
+			t.Fatalf("dtype=%s: snapshot reports %s", dtype, st.Dtype())
+		}
+		if dtype == mat.DtypeI8PQ && st.quant == nil {
+			t.Fatal("i8pq mapping did not adopt the persisted codebook")
+		}
+
+		for _, q := range []int{0, 150, 299} {
+			a, err := cold.TopKWith(q, 10, ModeExact, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := warm.TopKWith(q, 10, ModeExact, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a.Neighbors {
+				if a.Neighbors[i] != b.Neighbors[i] {
+					t.Fatalf("dtype=%s q=%d rank %d: cold %+v mmap %+v", dtype, q, i, a.Neighbors[i], b.Neighbors[i])
+				}
+			}
+			ea, _ := cold.Embed([]int{q})
+			eb, _ := warm.Embed([]int{q})
+			for j := range ea.Vectors[0] {
+				if math.Float64bits(ea.Vectors[0][j]) != math.Float64bits(eb.Vectors[0][j]) {
+					t.Fatalf("dtype=%s q=%d: /embed differs at dim %d", dtype, q, j)
+				}
+			}
+			pa, _ := cold.Predict([]int{q})
+			pb, _ := warm.Predict([]int{q})
+			for j := range pa.Probs[0] {
+				if math.Float64bits(pa.Probs[0][j]) != math.Float64bits(pb.Probs[0][j]) {
+					t.Fatalf("dtype=%s q=%d: /predict differs at class %d", dtype, q, j)
+				}
+			}
+		}
+
+		// Reload against the unchanged file must reuse the mapping.
+		if _, err := warm.Install(m); err != nil {
+			t.Fatal(err)
+		}
+		st2, _ := warm.Snapshot()
+		if st2.mapped != st.mapped {
+			t.Fatalf("dtype=%s: reload remapped an unchanged artifact", dtype)
+		}
+	}
+}

@@ -261,6 +261,30 @@ func (e *Engine) registerMetrics(reg *obs.Registry) {
 			}
 			return 0
 		})
+	// The memory-plane gauges carry the dtype label (a per-engine
+	// constant, so cardinality stays bounded): resident is the private
+	// working set of the table representation, mapped the size of the
+	// artifact mapping behind it (0 when decoded to heap).
+	dlabels := map[string]string{"model": e.opts.ModelName, "dtype": e.opts.Dtype.String()}
+	if e.opts.sharded() {
+		dlabels["shard"] = strconv.Itoa(e.opts.ShardIndex)
+	}
+	reg.GaugeFunc("gsgcn_resident_bytes",
+		"Bytes of the serving table working set held privately: the f64 table when decoded to heap, the norms, and quantized codes plus codebooks.",
+		dlabels, func() float64 {
+			if st := e.state.Load(); st != nil {
+				return float64(st.ResidentBytes())
+			}
+			return 0
+		})
+	reg.GaugeFunc("gsgcn_mapped_bytes",
+		"Bytes of the memory-mapped artifact backing the snapshot (0 when decoded to heap).",
+		dlabels, func() float64 {
+			if st := e.state.Load(); st != nil {
+				return float64(st.MappedBytes())
+			}
+			return 0
+		})
 }
 
 // batcherInst holds the micro-batcher's histogram handles (nil on an

@@ -735,6 +735,7 @@ func (rt *Router) health() healthBody {
 		Vertices: rt.ds.G.NumVertices(),
 		Edges:    rt.ds.G.NumEdges(),
 		Classes:  rt.ds.NumClasses,
+		Dtype:    rt.opts.Dtype.String(),
 	}
 	loaded, downCount := 0, 0
 	warmAll := true
@@ -752,10 +753,15 @@ func (rt *Router) health() healthBody {
 			body.Version = st.Version
 			body.ModelVersion = st.ModelVersion
 			body.Dim = st.Dim()
+			body.Dtype = st.Dtype().String()
 			if body.WarmNote == "" {
 				body.WarmNote = st.WarmNote
 			}
 		}
+		// Memory-plane bytes sum across the fleet: the per-process
+		// answer a capacity planner wants.
+		body.ResidentB += st.ResidentBytes()
+		body.MappedB += st.MappedBytes()
 		warmAll = warmAll && st.WarmStart
 	}
 	switch {

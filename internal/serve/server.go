@@ -549,6 +549,9 @@ type healthBody struct {
 	Classes      int     `json:"classes"`
 	WarmStart    bool    `json:"warm_start"`
 	WarmNote     string  `json:"warm_note,omitempty"`
+	Dtype        string  `json:"dtype"`
+	ResidentB    int64   `json:"resident_bytes"`
+	MappedB      int64   `json:"mapped_bytes,omitempty"`
 	Batches      uint64  `json:"batches"`
 	Queries      uint64  `json:"queries"`
 	Coalescing   float64 `json:"coalescing"`
@@ -565,6 +568,7 @@ func (s *Server) health() healthBody {
 		Vertices: s.eng.ds.G.NumVertices(),
 		Edges:    s.eng.ds.G.NumEdges(),
 		Classes:  s.eng.ds.NumClasses,
+		Dtype:    s.eng.opts.Dtype.String(),
 	}
 	if st, err := s.eng.Snapshot(); err == nil {
 		body.Status = "ok"
@@ -573,6 +577,9 @@ func (s *Server) health() healthBody {
 		body.Dim = st.Dim()
 		body.WarmStart = st.WarmStart
 		body.WarmNote = st.WarmNote
+		body.Dtype = st.Dtype().String()
+		body.ResidentB = st.ResidentBytes()
+		body.MappedB = st.MappedBytes()
 	}
 	body.Batches, body.Queries = s.bat.Stats()
 	if body.Batches > 0 {

@@ -86,7 +86,28 @@ func BuildSnapshot(ds *datasets.Dataset, m *core.Model, opts Options, withIndex 
 	if withIndex {
 		snap.Index = ann.Build(emb, norms, opts.annParams(), opts.Workers)
 	}
+	quantizeSnapshot(snap, opts)
 	return snap, nil
+}
+
+// quantizeSnapshot attaches the dtype payload the options select to a
+// freshly built artifact snapshot: the f32 table or the PQ codebook
+// and codes, trained with exactly the parameters a serving engine
+// resolves for the same shape — which is what lets the engine adopt
+// the persisted payload instead of re-deriving it.
+func quantizeSnapshot(snap *artifact.Snapshot, opts Options) {
+	snap.Dtype = opts.Dtype
+	rows, cols := snap.Emb.Rows, snap.Emb.Cols
+	if rows == 0 || cols == 0 {
+		snap.Dtype = mat.DtypeF64
+		return
+	}
+	switch opts.Dtype {
+	case mat.DtypeF32:
+		snap.F32 = mat.ToF32(snap.Emb, opts.Workers)
+	case mat.DtypeI8PQ:
+		snap.PQ = mat.TrainPQ(snap.Emb, mat.ResolvePQ(rows, cols), opts.Workers)
+	}
 }
 
 // BuildShardSnapshots computes the per-shard serving artifacts of a
@@ -132,6 +153,10 @@ func BuildShardSnapshots(ds *datasets.Dataset, m *core.Model, opts Options, with
 		if withIndex {
 			snap.Index = ann.Build(sub, subNorms, opts.annParams(), opts.Workers)
 		}
+		// Each shard trains its own codebook over its own rows — the
+		// same per-shard quantization a shard engine derives in
+		// process, so the payload is adoptable shard by shard.
+		quantizeSnapshot(snap, opts)
 		out[i] = snap
 	}
 	return out, nil

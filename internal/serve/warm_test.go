@@ -10,6 +10,7 @@ import (
 	"gsgcn/internal/artifact"
 	"gsgcn/internal/core"
 	"gsgcn/internal/datasets"
+	"gsgcn/internal/mat"
 )
 
 // writeTestArtifact builds and persists a snapshot for (ds, m) with
@@ -61,11 +62,12 @@ func TestWarmStartBitIdentical(t *testing.T) {
 	if stc.WarmStart {
 		t.Fatal("cold engine claims a warm start")
 	}
-	if stc.Emb.Rows != stw.Emb.Rows || stc.Emb.Cols != stw.Emb.Cols {
-		t.Fatalf("table shapes differ: %dx%d vs %dx%d", stc.Emb.Rows, stc.Emb.Cols, stw.Emb.Rows, stw.Emb.Cols)
+	embC, embW := stc.Emb.(*mat.Dense), stw.Emb.(*mat.Dense)
+	if embC.Rows != embW.Rows || embC.Cols != embW.Cols {
+		t.Fatalf("table shapes differ: %dx%d vs %dx%d", embC.Rows, embC.Cols, embW.Rows, embW.Cols)
 	}
-	for i := range stc.Emb.Data {
-		if math.Float64bits(stc.Emb.Data[i]) != math.Float64bits(stw.Emb.Data[i]) {
+	for i := range embC.Data {
+		if math.Float64bits(embC.Data[i]) != math.Float64bits(embW.Data[i]) {
 			t.Fatalf("embedding element %d differs between cold and warm", i)
 		}
 	}
@@ -213,7 +215,7 @@ func TestWarmReloadReusesUnchangedArtifact(t *testing.T) {
 	if !st2.WarmStart {
 		t.Fatal("reload lost the warm start")
 	}
-	if &st2.Emb.Data[0] != &st1.Emb.Data[0] || st2.annIdx.Load() != st1.annIdx.Load() {
+	if &st2.Emb.(*mat.Dense).Data[0] != &st1.Emb.(*mat.Dense).Data[0] || st2.annIdx.Load() != st1.annIdx.Load() {
 		t.Fatal("reload against an unchanged artifact re-decoded instead of reusing tables")
 	}
 	if st2.Version <= st1.Version {

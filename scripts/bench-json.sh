@@ -46,4 +46,5 @@ bench_to_json() {
 }
 
 bench_to_json . 'Epoch' BENCH_train.json
-bench_to_json ./internal/serve 'ServeEmbed|TopKAnnVsExact|WarmVsColdStart|ObsOverhead' BENCH_serve.json
+bench_to_json ./internal/serve 'ServeEmbed|TopKAnnVsExact|WarmVsColdStart|WarmStartMmap|ObsOverhead' BENCH_serve.json
+bench_to_json ./internal/ann 'AnnScanDtype' BENCH_ann.json

@@ -6,6 +6,10 @@
 # server restarts against it, /healthz must report warm_start:true and
 # every /topk answer must match the cold run byte-for-byte (the
 # artifact determinism contract, asserted over HTTP).
+# The memory-plane phase rebuilds the artifact quantized (-dtype
+# i8pq), restarts the server memory-mapped (-mmap), and asserts the
+# contract both ways: exact answers byte-identical to the f64 run,
+# private working set (gsgcn_resident_bytes) at least 3x smaller.
 # The final phase shards the same graph 3 ways: gsgcn-index -shards
 # builds per-shard artifacts, the sharded server must answer /embed,
 # /predict and exact /topk byte-identically to the single process,
@@ -191,6 +195,14 @@ for q in $topk_queries; do
     fi
 done
 
+# Capture exact-mode answers for the memory-plane phase now, while
+# the snapshot is still at version 1 — a fresh quantized server starts
+# there too, so the comparison is byte-for-byte including the version.
+mem_queries="/topk?id=0&k=3&mode=exact /topk?id=3&k=5&mode=exact /embed?ids=0,4,9 /predict?ids=2,6"
+for q in $mem_queries; do
+    curl -s "$base$q" > "$TMP/memf64$(printf '%s' "$q" | tr '/?&,=' '_____')"
+done
+
 # /reload against the unchanged artifact must stay warm.
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/reload")
 if [ "$code" != 200 ]; then
@@ -198,6 +210,69 @@ if [ "$code" != 200 ]; then
 fi
 if ! curl -s "$base/healthz" | grep -q '"warm_start":true'; then
     echo "serve-smoke: reload lost the warm start" >&2; exit 1
+fi
+
+echo "== memory plane (i8pq artifact, mmap-backed serving)"
+# The warm f64 server still running above is the baseline (its
+# exact-mode answers were captured pre-reload): scrape its private
+# working set, then swap the resident representation to mmap-backed
+# int8-PQ. Exact answers must not move by a byte, and the working set
+# must shrink at least 3x.
+metric_value() {
+    curl -sf "$base/metrics" | sed -n "s/^$1 \([0-9][0-9]*\)\$/\1/p" | head -1
+}
+if ! curl -s "$base/healthz" | grep -q '"dtype":"f64"'; then
+    echo "serve-smoke: f64 baseline healthz does not report its dtype:" >&2
+    curl -s "$base/healthz" >&2; exit 1
+fi
+R64=$(metric_value 'gsgcn_resident_bytes{dtype="f64",model="default"}')
+if [ -z "$R64" ] || [ "$R64" -le 0 ]; then
+    echo "serve-smoke: no f64 gsgcn_resident_bytes gauge:" >&2
+    curl -sf "$base/metrics" | grep resident_bytes >&2 || true
+    exit 1
+fi
+metrics_grep '^gsgcn_mapped_bytes\{dtype="f64",model="default"\} 0$'
+
+"$BIN/gsgcn-index" -load "$TMP/m.ckpt" -data "$TMP/g.gsg" -dtype i8pq -out "$TMP/m8.art"
+if ! grep -q '"dtype": "i8pq"' "$TMP/m8.art.json"; then
+    echo "serve-smoke: i8pq manifest does not record its dtype:" >&2
+    cat "$TMP/m8.art.json" >&2; exit 1
+fi
+
+stop_server
+start_server -data "$TMP/g.gsg" -load "$TMP/m.ckpt" -ann \
+    -artifact "$TMP/m8.art" -dtype i8pq -mmap
+for field in '"warm_start":true' '"dtype":"i8pq"' '"mapped_bytes":'; do
+    if ! curl -s "$base/healthz" | grep -q "$field"; then
+        echo "serve-smoke: mmap i8pq healthz lacks $field:" >&2
+        curl -s "$base/healthz" >&2; exit 1
+    fi
+done
+
+# Exact answers at the quantized dtype are byte-identical to f64.
+for q in $mem_queries; do
+    f="$TMP/memf64$(printf '%s' "$q" | tr '/?&,=' '_____')"
+    curl -s "$base$q" > "$f.i8pq"
+    if ! cmp -s "$f" "$f.i8pq"; then
+        echo "serve-smoke: i8pq $q differs from the f64 baseline:" >&2
+        diff "$f" "$f.i8pq" >&2 || true
+        exit 1
+    fi
+done
+# ANN mode still answers (recall-bounded, so only shape-checked here).
+check "/topk?id=0&k=3&mode=ann" "neighbors"
+
+R8=$(metric_value 'gsgcn_resident_bytes{dtype="i8pq",model="default"}')
+M8=$(metric_value 'gsgcn_mapped_bytes{dtype="i8pq",model="default"}')
+if [ -z "$R8" ] || [ -z "$M8" ] || [ "$M8" -le 0 ]; then
+    echo "serve-smoke: mmap i8pq gauges missing (resident=$R8 mapped=$M8):" >&2
+    curl -sf "$base/metrics" | grep -E 'resident_bytes|mapped_bytes' >&2 || true
+    exit 1
+fi
+echo "serve-smoke: resident f64=${R64}B i8pq+mmap=${R8}B (mapped ${M8}B)"
+if [ $((3 * R8)) -gt "$R64" ]; then
+    echo "serve-smoke: mmap i8pq resident ${R8}B is not 3x under the f64 ${R64}B" >&2
+    exit 1
 fi
 
 echo "== train second model (for the multi-model phase)"
